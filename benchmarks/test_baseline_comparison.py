@@ -1,0 +1,86 @@
+"""The headline comparison — ColorBars vs the OOK and FSK prior art.
+
+Paper §1/§9: prior FSK-based LED-to-camera systems reached 11.32 B/s
+(RollingLight) and 1.25 B/s (Visual Light Landmarks); ColorBars reaches
+kilobits per second.  The bench runs all three modems through the *same*
+camera simulator and compares delivered rates; shape checks: FSK lands at
+the bytes-per-second scale and ColorBars beats it by well over an order of
+magnitude.
+"""
+
+import pytest
+
+from repro.baselines.fsk import FskModem
+from repro.baselines.ook import OokModem
+from repro.camera.devices import nexus_5
+from repro.core.config import SystemConfig
+from repro.link.simulator import LinkSimulator
+from repro.phy.led import typical_tri_led
+from repro.phy.waveform import EXTEND_CYCLE
+
+
+def run_colorbars():
+    device = nexus_5()
+    config = SystemConfig(
+        csk_order=16, symbol_rate=4000,
+        design_loss_ratio=device.timing.gap_fraction,
+    )
+    result = LinkSimulator(config, device, simulated_columns=32, seed=2).run(
+        duration_s=2.5
+    )
+    return result.metrics.throughput_bps, result.metrics.goodput_bps
+
+
+def run_ook():
+    led = typical_tri_led()
+    device = nexus_5()
+    modem = OokModem(led, symbol_rate=2000)
+    waveform = modem.modulate(b"baseline comparison payload", extend=EXTEND_CYCLE)
+    camera = device.make_camera(simulated_columns=32, seed=2)
+    frames = camera.record(waveform, duration=2.0)
+    result = modem.demodulate_frames(
+        frames, device.timing.rows_per_symbol(2000), 2.0
+    )
+    return result.throughput_bps
+
+
+def run_fsk():
+    led = typical_tri_led()
+    device = nexus_5()
+    modem = FskModem(led)
+    waveform = modem.modulate(b"baseline comparison payload", extend=EXTEND_CYCLE)
+    camera = device.make_camera(simulated_columns=32, seed=2)
+    frames = camera.record(waveform, duration=2.0)
+    result = modem.demodulate_frames(frames, 2.0)
+    return result.throughput_bps
+
+
+def test_baseline_comparison(benchmark):
+    def run():
+        colorbars_tput, colorbars_goodput = run_colorbars()
+        return {
+            "colorbars_throughput": colorbars_tput,
+            "colorbars_goodput": colorbars_goodput,
+            "ook": run_ook(),
+            "fsk": run_fsk(),
+        }
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nBaseline comparison (same camera substrate, Nexus 5)")
+    print(f"  ColorBars 16-CSK@4kHz throughput: {rates['colorbars_throughput']:8.0f} bps")
+    print(f"  ColorBars 16-CSK@4kHz goodput   : {rates['colorbars_goodput']:8.0f} bps")
+    print(f"  OOK (Manchester, raw)           : {rates['ook']:8.0f} bps")
+    print(f"  FSK (RollingLight-style)        : {rates['fsk']:8.0f} bps"
+          f" = {rates['fsk'] / 8:.1f} B/s (paper comparators: 11.32, 1.25 B/s)")
+
+    # FSK sits at the bytes-per-second scale the paper quotes for prior work.
+    assert 2 <= rates["fsk"] / 8 <= 60
+
+    # ColorBars' raw throughput beats FSK by far more than an order of
+    # magnitude, and beats raw OOK as well.
+    assert rates["colorbars_throughput"] > 20 * rates["fsk"]
+    assert rates["colorbars_throughput"] > rates["ook"]
+
+    # Even after FEC overhead, goodput alone clears the FSK baseline.
+    assert rates["colorbars_goodput"] > 5 * rates["fsk"]

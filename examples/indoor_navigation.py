@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Indoor navigation: ceiling lights broadcast smart-sign beacons.
+
+The paper's second motivating application (§1): office luminaires broadcast
+location beacons that a phone resolves against its floor map.  Each light
+sends a compact CRC-protected beacon — just a 32-bit location id, the way
+deployed smart-sign systems work — and the phone looks the id up locally.
+Reliability matters more than rate here, so the link uses 4-CSK: the
+paper's recommendation for "applications where reliable LED-to-camera
+communication is desirable" (SER below 1e-3).
+
+Usage::
+
+    python examples/indoor_navigation.py
+"""
+
+import zlib
+
+from repro import LinkSimulator, SystemConfig, iphone_5s
+from repro.link.workloads import beacon_payload
+
+
+#: The phone's local floor map: beacon id -> navigation hint.
+FLOOR_MAP = {
+    0x0201: "Turn left for rooms B201-B209",
+    0x0202: "Straight ahead: stairwell and elevators",
+    0x0203: "Conference room B204: second door right",
+}
+
+
+def parse_beacon(data: bytes):
+    """Validate CRC and extract the location id."""
+    body, checksum = data[:-4], data[-4:]
+    if zlib.crc32(body).to_bytes(4, "big") != checksum:
+        return None
+    return int.from_bytes(body[:4], "big")
+
+
+def main() -> None:
+    device = iphone_5s()
+    config = SystemConfig(
+        csk_order=4,  # reliability over rate, per the paper's conclusion
+        symbol_rate=3000,
+        design_loss_ratio=device.timing.gap_fraction,
+    )
+    k = config.rs_params().k
+    print(f"link: {config.describe()}  (payload {k} bytes/packet)\n")
+
+    for identifier in FLOOR_MAP:
+        beacon = beacon_payload(identifier)  # 4-byte id + CRC32 = 8 bytes
+        payload = beacon + bytes((-len(beacon)) % k)
+
+        simulator = LinkSimulator(config, device, seed=identifier)
+        result = simulator.run(payload=payload, duration_s=3.0)
+
+        recovered = result.recovered_broadcast()
+        if recovered is None:
+            print(f"light 0x{identifier:04x}: beacon incomplete, keep pointing")
+            continue
+        got_id = parse_beacon(recovered[: len(beacon)])
+        if got_id is None:
+            print(f"light 0x{identifier:04x}: CRC failed, keep pointing")
+            continue
+        hint = FLOOR_MAP.get(got_id, "unknown location")
+        ser = result.metrics.data_symbol_error_rate
+        print(f"light 0x{got_id:04x}: {hint!r}")
+        print(
+            f"  SER={ser:.4f}  goodput={result.metrics.goodput_bps:.0f} bps"
+            "  (CRC verified)"
+        )
+
+
+if __name__ == "__main__":
+    main()

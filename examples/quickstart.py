@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: broadcast a message from a tri-LED to a simulated phone.
+
+Runs the complete ColorBars chain — Reed-Solomon encoding, packetization,
+CSK modulation, the rolling-shutter camera, and the full receiver — and
+prints what arrived.  Everything is deterministic given the seed.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import LinkSimulator, SystemConfig, nexus_5
+
+
+def main() -> None:
+    # The link contract both ends share: 8-CSK at 2000 symbols/second,
+    # provisioned for the Nexus 5's inter-frame loss ratio.
+    device = nexus_5()
+    config = SystemConfig(
+        csk_order=8,
+        symbol_rate=2000,
+        design_loss_ratio=device.timing.gap_fraction,
+    )
+    print(f"link config : {config.describe()}")
+    print(f"receiver    : {device.name} "
+          f"({device.timing.cols}x{device.timing.rows} @ "
+          f"{device.timing.frame_rate:.0f} fps)")
+
+    message = b"Hello from the light bulb! ColorBars over a rolling shutter."
+    # Pad to whole Reed-Solomon blocks so the broadcast is self-contained.
+    k = config.rs_params().k
+    payload = message + bytes((-len(message)) % k)
+
+    simulator = LinkSimulator(config, device, seed=42)
+    result = simulator.run(payload=payload, duration_s=3.0)
+
+    print(f"\nrecording   : {result.metrics.duration_s:.1f} s of video")
+    print(f"metrics     : {result.metrics.summary()}")
+
+    recovered = result.recovered_broadcast()
+    if recovered is None:
+        print("broadcast   : incomplete (record longer for every block)")
+    else:
+        text = recovered[: len(message)].decode("utf-8", errors="replace")
+        print(f"broadcast   : {text!r}")
+        assert recovered[: len(message)] == message
+        print("payload verified byte-for-byte.")
+
+
+if __name__ == "__main__":
+    main()

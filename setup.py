@@ -1,0 +1,4 @@
+"""Setup shim: enables `python setup.py develop` on environments without wheel."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""ColorBars: LED-to-camera communication with Color Shift Keying.
+
+A full reproduction of "ColorBars: Increasing Data Rate of LED-to-Camera
+Communication using Color Shift Keying" (CoNEXT 2015): the CSK modulation
+stack, flicker-free illumination, Reed-Solomon protection against
+inter-frame loss, transmitter-assisted calibration, and a physically
+grounded rolling-shutter camera simulator standing in for the paper's phone
+receivers.
+
+Quickstart::
+
+    from repro import SystemConfig, LinkSimulator, nexus_5
+
+    config = SystemConfig(csk_order=8, symbol_rate=2000)
+    result = LinkSimulator(config, nexus_5()).run(b"hello colorbars" * 8)
+    print(result.metrics.summary())
+"""
+
+from repro.camera.devices import DeviceProfile, generic_device, iphone_5s, nexus_5
+from repro.core.config import SystemConfig
+from repro.core.metrics import LinkMetrics
+from repro.core.system import ColorBarsTransmitter, make_receiver
+from repro.csk.constellation import Constellation, design_constellation
+from repro.exceptions import ColorBarsError
+from repro.fec.reed_solomon import ReedSolomonCodec, rs_params_for_loss
+from repro.flicker.threshold import FlickerModel
+from repro.link.channel import ChannelConditions
+from repro.link.simulator import LinkResult, LinkSimulator, sweep
+from repro.phy.led import TriLedEmitter, typical_tri_led
+from repro.rx.receiver import ColorBarsReceiver, ReceiverReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeviceProfile",
+    "generic_device",
+    "iphone_5s",
+    "nexus_5",
+    "SystemConfig",
+    "LinkMetrics",
+    "ColorBarsTransmitter",
+    "make_receiver",
+    "Constellation",
+    "design_constellation",
+    "ColorBarsError",
+    "ReedSolomonCodec",
+    "rs_params_for_loss",
+    "FlickerModel",
+    "ChannelConditions",
+    "LinkResult",
+    "LinkSimulator",
+    "sweep",
+    "TriLedEmitter",
+    "typical_tri_led",
+    "ColorBarsReceiver",
+    "ReceiverReport",
+    "__version__",
+]

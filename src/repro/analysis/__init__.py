@@ -1,0 +1,23 @@
+"""Experiment aggregation: multi-seed runs and summary statistics.
+
+A single simulated recording is one random draw (noise, AE drift, frame
+jitter, gap phases); the paper's measurements average over much longer
+captures.  This package provides the repeat-and-aggregate layer: run a
+configuration across independent seeds and report mean, spread and a normal
+confidence interval for each metric — the numbers a serious evaluation
+should quote.
+"""
+
+from repro.analysis.aggregate import (
+    MetricSummary,
+    RepeatedRunResult,
+    repeat_link_runs,
+    summarize,
+)
+
+__all__ = [
+    "MetricSummary",
+    "RepeatedRunResult",
+    "repeat_link_runs",
+    "summarize",
+]

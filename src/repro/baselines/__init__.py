@@ -1,0 +1,14 @@
+"""Baseline LED-to-camera modems: OOK and FSK.
+
+The paper's headline comparison (§1, §9) is against rolling-shutter
+on-off-keying and the FSK schemes of RollingLight [1] (~11.32 B/s) and
+Visual Light Landmarks [2] (~1.25 B/s).  These modems run through the same
+tri-LED waveform / camera-simulator / scanline pipeline as ColorBars, so the
+throughput gap measured by ``benchmarks/test_baseline_comparison.py`` comes
+from modulation alone, not a different substrate.
+"""
+
+from repro.baselines.ook import OokModem, OokResult
+from repro.baselines.fsk import FskModem, FskResult
+
+__all__ = ["OokModem", "OokResult", "FskModem", "FskResult"]

@@ -1,0 +1,86 @@
+"""Bayer color-filter-array mosaic and bilinear demosaicing (paper §6.1).
+
+Each photodiode sees only one color through its filter; the ISP estimates
+the missing channels from neighbours (demosaicing).  At the sharp color
+transitions between rolling-shutter bands this interpolation mixes adjacent
+symbols' colors — a genuine inter-symbol-interference mechanism that grows
+as bands get narrower, contributing to the SER trend of Fig 9.
+
+The RGGB pattern is used (rows alternate R-G and G-B filters, Fig 5a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CameraError
+
+#: Channel index sampled at each position of the 2x2 RGGB tile.
+_RGGB = np.array([[0, 1], [1, 2]])
+
+
+def bayer_mask(rows: int, cols: int) -> np.ndarray:
+    """``(rows, cols)`` array of channel indices (0=R, 1=G, 2=B), RGGB tiling."""
+    if rows <= 0 or cols <= 0:
+        raise CameraError(f"rows and cols must be positive, got {rows}x{cols}")
+    row_idx = np.arange(rows) % 2
+    col_idx = np.arange(cols) % 2
+    return _RGGB[row_idx[:, np.newaxis], col_idx[np.newaxis, :]]
+
+
+def bayer_mosaic(image: np.ndarray) -> np.ndarray:
+    """Sample a full-color linear image through the RGGB filter array.
+
+    ``image`` is ``(rows, cols, 3)``; the result is ``(rows, cols)`` — one
+    filtered sample per photodiode.
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise CameraError(f"expected (rows, cols, 3) image, got {image.shape}")
+    mask = bayer_mask(image.shape[0], image.shape[1])
+    return np.take_along_axis(image, mask[..., np.newaxis], axis=2)[..., 0]
+
+
+def _neighbor_average(plane: np.ndarray, presence: np.ndarray) -> np.ndarray:
+    """Bilinear fill: average of present neighbours within a 3x3 window."""
+    padded_value = np.pad(plane * presence, 1, mode="edge")
+    padded_count = np.pad(presence.astype(float), 1, mode="edge")
+    value_sum = np.zeros_like(plane, dtype=float)
+    count_sum = np.zeros_like(plane, dtype=float)
+    for dr in (-1, 0, 1):
+        for dc in (-1, 0, 1):
+            value_sum += padded_value[
+                1 + dr : 1 + dr + plane.shape[0], 1 + dc : 1 + dc + plane.shape[1]
+            ]
+            count_sum += padded_count[
+                1 + dr : 1 + dr + plane.shape[0], 1 + dc : 1 + dc + plane.shape[1]
+            ]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        filled = value_sum / count_sum
+    return np.where(count_sum > 0, filled, 0.0)
+
+
+def demosaic_bilinear(mosaic: np.ndarray) -> np.ndarray:
+    """Reconstruct a full-color image from an RGGB mosaic by bilinear fill.
+
+    Simple bilinear interpolation is what low-latency phone pipelines of the
+    paper's era effectively approximate; its channel mixing at band edges is
+    the ISI behaviour we want to exercise, not an artifact to avoid.
+    """
+    mosaic = np.asarray(mosaic, dtype=float)
+    if mosaic.ndim != 2:
+        raise CameraError(f"expected (rows, cols) mosaic, got {mosaic.shape}")
+    rows, cols = mosaic.shape
+    mask = bayer_mask(rows, cols)
+    out = np.empty((rows, cols, 3), dtype=float)
+    for channel in range(3):
+        presence = mask == channel
+        plane = np.where(presence, mosaic, 0.0)
+        averaged = _neighbor_average(mosaic, presence)
+        out[..., channel] = np.where(presence, plane, averaged)
+    return out
+
+
+def mosaic_roundtrip(image: np.ndarray) -> np.ndarray:
+    """Mosaic + demosaic in one call — the sensor pipeline's CFA stage."""
+    return demosaic_bilinear(bayer_mosaic(image))

@@ -1,0 +1,70 @@
+"""Captured-frame container with the timing metadata the receiver relies on.
+
+A rolling-shutter frame is more than pixels: each scanline was exposed in a
+known time window, and the gap before the next frame is where symbols are
+lost (paper §5).  :class:`CapturedFrame` carries both, so the receiver can
+translate band row-spans into on-air time and compute how many symbols each
+inter-frame gap swallowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.camera.auto_exposure import ExposureSettings
+from repro.exceptions import CameraError
+
+
+@dataclass(frozen=True)
+class CapturedFrame:
+    """One frame: 8-bit sRGB pixels plus rolling-shutter timing metadata."""
+
+    index: int
+    pixels: np.ndarray
+    start_time: float
+    row_period: float
+    exposure: ExposureSettings
+
+    def __post_init__(self) -> None:
+        pixels = np.asarray(self.pixels)
+        if pixels.ndim != 3 or pixels.shape[2] != 3:
+            raise CameraError(
+                f"pixels must be (rows, cols, 3), got {pixels.shape}"
+            )
+        if pixels.dtype != np.uint8:
+            raise CameraError(f"pixels must be uint8, got {pixels.dtype}")
+        if self.row_period <= 0:
+            raise CameraError(f"row_period must be positive, got {self.row_period}")
+        object.__setattr__(self, "pixels", pixels)
+
+    @property
+    def rows(self) -> int:
+        return self.pixels.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.pixels.shape[1]
+
+    @property
+    def readout_duration(self) -> float:
+        """Time from the first row's exposure start to the last row's."""
+        return self.rows * self.row_period
+
+    def row_exposure_window(self, row: int) -> tuple:
+        """The ``(start, stop)`` exposure interval of one scanline."""
+        if not 0 <= row < self.rows:
+            raise CameraError(f"row {row} outside frame of {self.rows} rows")
+        start = self.start_time + row * self.row_period
+        return (start, start + self.exposure.exposure_s)
+
+    def row_mid_times(self) -> np.ndarray:
+        """Exposure-window midpoints of every scanline — the band clock."""
+        starts = self.start_time + np.arange(self.rows) * self.row_period
+        return starts + self.exposure.exposure_s / 2.0
+
+    def time_to_row(self, time: float) -> int:
+        """The scanline whose exposure midpoint is closest to ``time``."""
+        mids = self.row_mid_times()
+        return int(np.argmin(np.abs(mids - time)))

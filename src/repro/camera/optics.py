@@ -1,0 +1,83 @@
+"""Lens/scene optics: vignetting, distance attenuation, ambient light.
+
+Fig 8(a) of the paper shows the received frame is brighter at the center
+than at the periphery; that non-uniform brightness is the reason the
+receiver demodulates in CIELab's ab-plane instead of RGB.  The standard
+cos^4 vignetting law reproduces it.  Distance attenuation and additive
+ambient light complete the link-budget model (the paper operates within
+~3 cm of a low-lumen LED).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.color.ciexyz import xy_to_XYZ
+from repro.color.illuminants import ILLUMINANT_A
+from repro.exceptions import CameraError
+
+
+@dataclass(frozen=True)
+class Optics:
+    """Optical path between the LED and the sensor.
+
+    ``vignetting_strength`` in [0, 1] scales the corner falloff (0 disables);
+    ``field_angle_rad`` is the half field-of-view reaching the frame corner;
+    ``distance_m`` attenuates irradiance by the inverse-square law relative
+    to ``reference_distance_m``; ``ambient_luminance`` adds a constant
+    incandescent-ish background (illuminant A chromaticity).
+    """
+
+    vignetting_strength: float = 0.85
+    field_angle_rad: float = 0.35
+    distance_m: float = 0.03
+    reference_distance_m: float = 0.03
+    ambient_luminance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.vignetting_strength <= 1.0:
+            raise CameraError(
+                f"vignetting_strength must be in [0, 1], "
+                f"got {self.vignetting_strength}"
+            )
+        if self.distance_m <= 0 or self.reference_distance_m <= 0:
+            raise CameraError("distances must be positive")
+        if self.ambient_luminance < 0:
+            raise CameraError("ambient_luminance must be >= 0")
+
+    def distance_gain(self) -> float:
+        """Inverse-square irradiance factor relative to the reference range."""
+        ratio = self.reference_distance_m / self.distance_m
+        return ratio * ratio
+
+    def vignette_map(self, rows: int, cols: int) -> np.ndarray:
+        """``(rows, cols)`` relative illumination map (1 at the center).
+
+        Classic cos^4(theta) falloff with theta growing radially toward the
+        corners, blended by ``vignetting_strength``.
+        """
+        if rows <= 0 or cols <= 0:
+            raise CameraError(f"rows and cols must be positive, got {rows}x{cols}")
+        row_coords = (np.arange(rows) - (rows - 1) / 2.0) / max((rows - 1) / 2.0, 1)
+        col_coords = (np.arange(cols) - (cols - 1) / 2.0) / max((cols - 1) / 2.0, 1)
+        radius = np.sqrt(
+            row_coords[:, np.newaxis] ** 2 + col_coords[np.newaxis, :] ** 2
+        ) / np.sqrt(2.0)
+        theta = radius * self.field_angle_rad
+        falloff = np.cos(theta) ** 4
+        return 1.0 - self.vignetting_strength * (1.0 - falloff)
+
+    def ambient_xyz(self) -> np.ndarray:
+        """XYZ of the additive ambient background light."""
+        if self.ambient_luminance == 0.0:
+            return np.zeros(3)
+        return xy_to_XYZ(
+            np.array(ILLUMINANT_A.xy), Y=self.ambient_luminance
+        )
+
+    def apply_to_scene(self, xyz: np.ndarray) -> np.ndarray:
+        """Distance attenuation plus ambient, before the sensor sees light."""
+        xyz = np.asarray(xyz, dtype=float)
+        return xyz * self.distance_gain() + self.ambient_xyz()

@@ -1,0 +1,68 @@
+"""CIE 1931 XYZ / xyY conversions.
+
+All functions are vectorized: scalars, ``(3,)`` vectors, or ``(..., 3)``
+arrays pass through with shape preserved.  Chromaticity ``(x, y)`` pairs are
+``(..., 2)`` arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ColorSpaceError
+
+#: Below this luminance/denominator magnitude a chromaticity is undefined.
+_EPSILON = 1e-12
+
+
+def XYZ_to_xyY(xyz: np.ndarray) -> np.ndarray:
+    """Convert tristimulus XYZ to xyY (chromaticity + luminance).
+
+    Black (X = Y = Z = 0) has no chromaticity; it maps to x = y = 0, Y = 0 so
+    downstream code can treat it as an "OFF" sample.
+    """
+    xyz = np.asarray(xyz, dtype=float)
+    total = xyz.sum(axis=-1, keepdims=True)
+    safe = np.where(np.abs(total) < _EPSILON, 1.0, total)
+    x = xyz[..., 0:1] / safe
+    y = xyz[..., 1:2] / safe
+    dark = np.abs(total) < _EPSILON
+    x = np.where(dark, 0.0, x)
+    y = np.where(dark, 0.0, y)
+    return np.concatenate([x, y, xyz[..., 1:2]], axis=-1)
+
+
+def xyY_to_XYZ(xyy: np.ndarray) -> np.ndarray:
+    """Convert xyY back to tristimulus XYZ.
+
+    Raises :class:`ColorSpaceError` for y = 0 with non-zero luminance, which
+    has no finite XYZ representation.
+    """
+    xyy = np.asarray(xyy, dtype=float)
+    x = xyy[..., 0]
+    y = xyy[..., 1]
+    Y = xyy[..., 2]
+    invalid = (np.abs(y) < _EPSILON) & (np.abs(Y) > _EPSILON)
+    if np.any(invalid):
+        raise ColorSpaceError("xyY point with y=0 but Y>0 has no XYZ representation")
+    safe_y = np.where(np.abs(y) < _EPSILON, 1.0, y)
+    X = x * Y / safe_y
+    Z = (1.0 - x - y) * Y / safe_y
+    X = np.where(np.abs(y) < _EPSILON, 0.0, X)
+    Z = np.where(np.abs(y) < _EPSILON, 0.0, Z)
+    return np.stack([X, Y, Z], axis=-1)
+
+
+def XYZ_to_xy(xyz: np.ndarray) -> np.ndarray:
+    """Project XYZ onto the chromaticity plane, dropping luminance."""
+    return XYZ_to_xyY(xyz)[..., :2]
+
+
+def xy_to_XYZ(xy: np.ndarray, Y: float = 1.0) -> np.ndarray:
+    """Lift a chromaticity point to XYZ at luminance ``Y`` (default 1)."""
+    xy = np.asarray(xy, dtype=float)
+    Y_arr = np.broadcast_to(np.asarray(Y, dtype=float), xy[..., 0].shape)
+    xyy = np.concatenate(
+        [xy, Y_arr[..., np.newaxis]], axis=-1
+    )
+    return xyY_to_XYZ(xyy)

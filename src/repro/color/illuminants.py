@@ -1,0 +1,44 @@
+"""Standard illuminant white points.
+
+The transmitter designs its constellation around the equal-energy illuminant E
+(the chromaticity produced when the three LEDs emit in equal proportion is
+close to it), while sRGB decoding on the camera side references D65.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WhitePoint:
+    """A reference white: CIE xy chromaticity plus the implied XYZ at Y=1."""
+
+    name: str
+    x: float
+    y: float
+
+    @property
+    def xy(self) -> tuple:
+        """Chromaticity coordinates as an ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    @property
+    def XYZ(self) -> np.ndarray:
+        """Tristimulus values normalised to luminance Y = 1."""
+        scale = 1.0 / self.y
+        return np.array(
+            [self.x * scale, 1.0, (1.0 - self.x - self.y) * scale], dtype=float
+        )
+
+
+#: CIE standard illuminant D65 — the sRGB reference white (average daylight).
+ILLUMINANT_D65 = WhitePoint("D65", 0.31271, 0.32902)
+
+#: CIE standard illuminant E — the equal-energy point (x = y = 1/3).
+ILLUMINANT_E = WhitePoint("E", 1.0 / 3.0, 1.0 / 3.0)
+
+#: CIE standard illuminant A — incandescent, used for ambient-light modelling.
+ILLUMINANT_A = WhitePoint("A", 0.44757, 0.40745)

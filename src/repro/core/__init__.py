@@ -1,0 +1,26 @@
+"""ColorBars core: the public system-level API.
+
+:class:`~repro.core.config.SystemConfig` captures everything transmitter and
+receiver share; :class:`~repro.core.system.ColorBarsTransmitter` turns
+payload bytes into the on-air optical waveform;
+:func:`~repro.core.system.make_receiver` builds the matching receiver; and
+:mod:`~repro.core.metrics` computes the paper's three evaluation metrics
+(symbol error rate, throughput, goodput).
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import (
+    LinkMetrics,
+    align_ground_truth,
+    symbol_error_rate,
+)
+from repro.core.system import ColorBarsTransmitter, make_receiver
+
+__all__ = [
+    "SystemConfig",
+    "LinkMetrics",
+    "align_ground_truth",
+    "symbol_error_rate",
+    "ColorBarsTransmitter",
+    "make_receiver",
+]

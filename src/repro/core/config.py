@@ -1,0 +1,165 @@
+"""System configuration shared by transmitter and receiver.
+
+One :class:`SystemConfig` fixes every parameter both ends of a ColorBars
+link must agree on: the CSK order, symbol rate, the receiver loss ratio the
+Reed-Solomon code is dimensioned for (paper §5), the illumination ratio
+(paper §4 / Fig 3b), and the calibration cadence (§6.2).  Factory methods
+derive the concrete building blocks — constellation, mapper, packetizer,
+codec — so the two ends are constructed from the same recipe and cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.csk.constellation import (
+    Constellation,
+    design_constellation,
+    SUPPORTED_ORDERS,
+)
+from repro.csk.mapping import SymbolMapper
+from repro.exceptions import ConfigurationError
+from repro.fec.reed_solomon import ReedSolomonCodec, RSParams, rs_params_for_loss
+from repro.flicker.threshold import FlickerModel
+from repro.packet.packetizer import PacketConfig, Packetizer
+from repro.phy.led import TriLedEmitter, typical_tri_led
+from repro.util.validation import (
+    require,
+    require_positive,
+    require_probability,
+)
+
+#: Calibration packets per second (paper §8: "5 calibration packets per second").
+DEFAULT_CALIBRATION_RATE_HZ = 5.0
+
+
+@dataclass
+class SystemConfig:
+    """The shared contract of a ColorBars link.
+
+    Parameters
+    ----------
+    csk_order:
+        4, 8, 16 or 32 (the paper's evaluation set).
+    symbol_rate:
+        Symbols per second (the paper sweeps 1000-4000 Hz).
+    design_loss_ratio:
+        Inter-frame loss ratio ``l`` the RS code is sized for; the paper
+        notes a deployment must provision for the worst receiver it serves.
+    frame_rate:
+        Receiver frame rate (30 fps for both evaluated phones).
+    illumination_ratio:
+        Data share eta of body slots.  ``None`` derives it from the flicker
+        model at the configured symbol rate (Fig 3b), which is how the paper
+        chooses it.
+    calibration_rate_hz:
+        Calibration packets per second.
+    gray_mapping:
+        Neighbor-aware bit labeling (True) or identity labeling (ablation).
+    custom_constellation:
+        Replace the standard design with a caller-supplied constellation of
+        the same order — e.g. one produced by
+        :func:`repro.csk.optimizer.optimize_constellation` for a specific
+        camera.  Both ends must use the same design.
+    """
+
+    csk_order: int = 8
+    symbol_rate: float = 2000.0
+    design_loss_ratio: float = 0.25
+    frame_rate: float = 30.0
+    illumination_ratio: Optional[float] = None
+    calibration_rate_hz: float = DEFAULT_CALIBRATION_RATE_HZ
+    gray_mapping: bool = True
+    emitter: TriLedEmitter = field(default_factory=typical_tri_led)
+    custom_constellation: Optional[Constellation] = None
+
+    def __post_init__(self) -> None:
+        if self.csk_order not in SUPPORTED_ORDERS:
+            raise ConfigurationError(
+                f"csk_order must be one of {SUPPORTED_ORDERS}, "
+                f"got {self.csk_order}"
+            )
+        require_positive(self.symbol_rate, "symbol_rate")
+        require_positive(self.frame_rate, "frame_rate")
+        require(
+            0 <= self.design_loss_ratio < 0.5,
+            "design_loss_ratio must be in [0, 0.5) for a decodable RS sizing, "
+            f"got {self.design_loss_ratio}",
+        )
+        require_positive(self.calibration_rate_hz, "calibration_rate_hz")
+        if self.illumination_ratio is not None:
+            require_probability(self.illumination_ratio, "illumination_ratio")
+            require(
+                self.illumination_ratio > 0,
+                "illumination_ratio must be > 0",
+            )
+        if self.custom_constellation is not None:
+            if self.custom_constellation.order != self.csk_order:
+                raise ConfigurationError(
+                    f"custom constellation has order "
+                    f"{self.custom_constellation.order}, config says "
+                    f"{self.csk_order}"
+                )
+            self._constellation = self.custom_constellation
+        else:
+            self._constellation = design_constellation(
+                self.csk_order, self.emitter.gamut
+            )
+        self.emitter.pwm.check_symbol_rate(self.symbol_rate)
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def constellation(self) -> Constellation:
+        return self._constellation
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return self._constellation.bits_per_symbol
+
+    def effective_illumination_ratio(self) -> float:
+        """Configured eta, or the flicker model's choice for this rate.
+
+        The automatic choice uses the *reference* flicker curve (random
+        colors in the triangle), matching the paper's single Fig 3(b)
+        experiment; every modulation then shares one eta(rate).
+        """
+        if self.illumination_ratio is not None:
+            return self.illumination_ratio
+        return FlickerModel.reference().illumination_ratio(self.symbol_rate)
+
+    def rs_params(self) -> RSParams:
+        """Reed-Solomon dimensioning per the paper's §5 rule."""
+        return rs_params_for_loss(
+            symbol_rate=self.symbol_rate,
+            frame_rate=self.frame_rate,
+            loss_ratio=self.design_loss_ratio,
+            bits_per_symbol=self.bits_per_symbol,
+            illumination_ratio=self.effective_illumination_ratio(),
+        )
+
+    # -- factories -------------------------------------------------------
+
+    def make_mapper(self) -> SymbolMapper:
+        return SymbolMapper(self._constellation, gray=self.gray_mapping)
+
+    def make_packetizer(self) -> Packetizer:
+        return Packetizer(
+            self.make_mapper(),
+            PacketConfig(illumination_ratio=self.effective_illumination_ratio()),
+        )
+
+    def make_codec(self) -> ReedSolomonCodec:
+        params = self.rs_params()
+        return ReedSolomonCodec(params.n, params.k)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (logs and bench output)."""
+        params = self.rs_params()
+        return (
+            f"{self.csk_order}-CSK @ {self.symbol_rate:.0f} sym/s, "
+            f"eta={self.effective_illumination_ratio():.2f}, "
+            f"RS({params.n},{params.k}), l_design={self.design_loss_ratio}"
+        )

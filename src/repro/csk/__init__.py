@@ -1,0 +1,28 @@
+"""Color Shift Keying: constellations, bit mapping, modulation, demodulation.
+
+The transmitter maps groups of ``log2(M)`` bits onto M chromaticity points
+inside the tri-LED's gamut triangle (802.15.7-style designs, paper §2.2 and
+Figs. 1e/1f); the receiver matches received CIELab chroma against reference
+colors learned from calibration packets (paper §6-§7).
+"""
+
+from repro.csk.calibration import CalibrationTable
+from repro.csk.constellation import (
+    Constellation,
+    design_constellation,
+    SUPPORTED_ORDERS,
+)
+from repro.csk.demodulator import CskDemodulator, SymbolDecision
+from repro.csk.mapping import SymbolMapper
+from repro.csk.modulator import CskModulator
+
+__all__ = [
+    "CalibrationTable",
+    "Constellation",
+    "design_constellation",
+    "SUPPORTED_ORDERS",
+    "CskDemodulator",
+    "SymbolDecision",
+    "SymbolMapper",
+    "CskModulator",
+]

@@ -1,0 +1,169 @@
+"""CSK demodulator: received CIELab samples -> symbol decisions (paper §7).
+
+The receiver classifies each detected band by:
+
+1. **OFF detection** — lightness L below a dark threshold (the LED was off);
+2. **white/color matching** — nearest reference chroma in the ab-plane,
+   where references come from a :class:`~repro.csk.calibration.CalibrationTable`
+   (calibrated mode) or from the nominal constellation pushed through the
+   ideal color pipeline (uncalibrated ablation mode).
+
+A match farther than the acceptance threshold (a multiple of the ΔE = 2.3
+just-noticeable difference) is flagged low-confidence; packet-level logic
+decides whether to keep or drop it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.color.cielab import JND_DELTA_E
+from repro.csk.calibration import CalibrationTable
+from repro.exceptions import DemodulationError
+
+
+class DecisionKind(Enum):
+    """What a received band was classified as."""
+
+    DATA = "data"
+    WHITE = "white"
+    OFF = "off"
+
+
+@dataclass(frozen=True)
+class SymbolDecision:
+    """One demodulated band: its class, index (DATA only), and confidence."""
+
+    kind: DecisionKind
+    index: Optional[int]
+    distance: float
+    confident: bool
+
+    def to_char(self) -> str:
+        """Compact notation matching :meth:`LogicalSymbol.to_char`."""
+        if self.kind is DecisionKind.OFF:
+            return "o"
+        if self.kind is DecisionKind.WHITE:
+            return "w"
+        return str(self.index)
+
+
+class CskDemodulator:
+    """Classifies per-band Lab measurements into symbol decisions.
+
+    Parameters
+    ----------
+    calibration:
+        The reference table (must be calibrated before data demodulation).
+    off_lightness:
+        L* below which a band is the OFF symbol.  The paper notes OFF and
+        white are distinguishable "with very high accuracy" — darkness is a
+        lightness decision, independent of chroma.
+    acceptance_delta_e:
+        Maximum ab-plane distance for a *confident* match, as a multiple of
+        the 2.3 JND (default 4x: automatic exposure moves received chroma by
+        several JND between calibrations, so a tight threshold would discard
+        recoverable symbols; RS coding cleans up the rest).
+    """
+
+    def __init__(
+        self,
+        calibration: CalibrationTable,
+        off_lightness: float = 12.0,
+        acceptance_delta_e: float = 4.0 * JND_DELTA_E,
+    ) -> None:
+        if off_lightness <= 0:
+            raise DemodulationError(
+                f"off_lightness must be positive, got {off_lightness}"
+            )
+        if acceptance_delta_e <= 0:
+            raise DemodulationError(
+                f"acceptance_delta_e must be positive, got {acceptance_delta_e}"
+            )
+        self.calibration = calibration
+        self.off_lightness = off_lightness
+        self.acceptance_delta_e = acceptance_delta_e
+
+    def decide(self, lab: np.ndarray) -> SymbolDecision:
+        """Classify a single band measurement ``(L, a, b)``."""
+        return self.decide_stream(np.asarray(lab, dtype=float)[np.newaxis, :])[0]
+
+    def decide_stream(self, lab: np.ndarray) -> List[SymbolDecision]:
+        """Classify ``(N, 3)`` Lab band measurements in order."""
+        lab = np.asarray(lab, dtype=float)
+        if lab.ndim != 2 or lab.shape[1] != 3:
+            raise DemodulationError(
+                f"expected (N, 3) Lab array, got shape {lab.shape}"
+            )
+        lightness = lab[:, 0]
+        chroma = lab[:, 1:]
+
+        decisions: List[SymbolDecision] = []
+        dark = lightness < self.off_lightness
+
+        # Distances to data references and to the white reference.
+        indices, data_dist = self.calibration.match(chroma)
+        white_ref = self.calibration.white_reference
+        white_dist = np.sqrt(np.sum((chroma - white_ref) ** 2, axis=-1))
+
+        for row in range(lab.shape[0]):
+            if dark[row]:
+                decisions.append(
+                    SymbolDecision(DecisionKind.OFF, None, 0.0, True)
+                )
+                continue
+            if white_dist[row] < data_dist[row]:
+                decisions.append(
+                    SymbolDecision(
+                        DecisionKind.WHITE,
+                        None,
+                        float(white_dist[row]),
+                        bool(white_dist[row] <= self.acceptance_delta_e),
+                    )
+                )
+                continue
+            decisions.append(
+                SymbolDecision(
+                    DecisionKind.DATA,
+                    int(indices[row]),
+                    float(data_dist[row]),
+                    bool(data_dist[row] <= self.acceptance_delta_e),
+                )
+            )
+        return decisions
+
+    def decision_string(self, lab: np.ndarray) -> str:
+        """Compact 'o'/'w'/index rendering of a decision stream (debugging)."""
+        return ",".join(d.to_char() for d in self.decide_stream(lab))
+
+
+def nominal_calibration(
+    constellation,
+    modulator,
+    camera_response=None,
+) -> CalibrationTable:
+    """Build a CalibrationTable from nominal emissions (no calibration packet).
+
+    Used by the calibration-off ablation: references are the constellation
+    emissions converted to Lab through an *ideal* pipeline (``camera_response``
+    None) or through a device's color response when one is supplied.  This is
+    exactly the mismatch the paper's §6 calibration mechanism exists to fix.
+    """
+    from repro.color.cielab import xyz_to_lab
+
+    table = CalibrationTable(constellation)
+    emissions = np.stack(modulator.reference_emissions())
+    white = modulator.white_emission()
+    if camera_response is not None:
+        emissions = camera_response(emissions)
+        white = camera_response(white[np.newaxis, :])[0]
+    # Normalize luminance so Lab references sit at a stable lightness.
+    peak = max(float(emissions[..., 1].max()), 1e-12)
+    lab = xyz_to_lab(emissions / peak)
+    white_lab = xyz_to_lab(white / peak)
+    table.update(lab[:, 1:], white_lab[1:])
+    return table

@@ -1,0 +1,106 @@
+"""CSK modulator: logical symbols -> emitted XYZ per symbol slot.
+
+The modulator owns the translation from the packet layer's
+:class:`~repro.phy.symbols.LogicalSymbol` stream to the per-symbol emission
+array an :class:`~repro.phy.waveform.OpticalWaveform` is built from: DATA
+symbols via the constellation and the tri-LED's duty solver, WHITE at the
+gamut centroid, OFF as darkness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.csk.constellation import Constellation
+from repro.exceptions import ModulationError
+from repro.phy.led import TriLedEmitter
+from repro.phy.symbols import LogicalSymbol
+from repro.phy.waveform import EXTEND_OFF, OpticalWaveform
+
+
+class CskModulator:
+    """Maps logical symbol streams onto the tri-LED's light output."""
+
+    def __init__(
+        self,
+        constellation: Constellation,
+        emitter: TriLedEmitter,
+        symbol_rate: float,
+        power_sum: Optional[float] = None,
+        quantize_pwm: bool = True,
+    ) -> None:
+        emitter.pwm.check_symbol_rate(symbol_rate)
+        self.constellation = constellation
+        self.emitter = emitter
+        self.symbol_rate = float(symbol_rate)
+        self.power_sum = (
+            power_sum if power_sum is not None else emitter.default_symbol_power()
+        )
+        self.quantize_pwm = quantize_pwm
+        # Precompute the emission of every constellation point and of white:
+        # the modulator is called per packet, so table lookups keep it cheap.
+        self._data_xyz = np.stack(
+            [
+                emitter.emit_chromaticity(
+                    constellation.point(i), self.power_sum, quantize=quantize_pwm
+                )
+                for i in range(constellation.order)
+            ]
+        )
+        self._white_xyz = emitter.emit_chromaticity(
+            emitter.white_point, self.power_sum, quantize=quantize_pwm
+        )
+        self._off_xyz = emitter.off_xyz()
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return self.constellation.bits_per_symbol
+
+    def symbol_xyz(self, symbol: LogicalSymbol) -> np.ndarray:
+        """Emission for one logical symbol."""
+        if symbol.is_off:
+            return self._off_xyz.copy()
+        if symbol.is_white:
+            return self._white_xyz.copy()
+        if symbol.index >= self.constellation.order:
+            raise ModulationError(
+                f"symbol index {symbol.index} outside "
+                f"{self.constellation.order}-CSK constellation"
+            )
+        return self._data_xyz[symbol.index].copy()
+
+    def emissions(self, symbols: Sequence[LogicalSymbol]) -> np.ndarray:
+        """``(N, 3)`` XYZ array for a symbol stream."""
+        if not symbols:
+            raise ModulationError("cannot modulate an empty symbol stream")
+        out = np.empty((len(symbols), 3))
+        for row, symbol in enumerate(symbols):
+            if symbol.is_off:
+                out[row] = self._off_xyz
+            elif symbol.is_white:
+                out[row] = self._white_xyz
+            else:
+                if symbol.index >= self.constellation.order:
+                    raise ModulationError(
+                        f"symbol {row} index {symbol.index} outside "
+                        f"{self.constellation.order}-CSK constellation"
+                    )
+                out[row] = self._data_xyz[symbol.index]
+        return out
+
+    def waveform(
+        self, symbols: Sequence[LogicalSymbol], extend: str = EXTEND_OFF
+    ) -> OpticalWaveform:
+        """Build the on-air optical waveform for a symbol stream."""
+        return OpticalWaveform(
+            self.emissions(symbols), self.symbol_rate, extend=extend
+        )
+
+    def reference_emissions(self) -> List[np.ndarray]:
+        """Nominal XYZ of every constellation point (for analysis/ablation)."""
+        return [self._data_xyz[i].copy() for i in range(self.constellation.order)]
+
+    def white_emission(self) -> np.ndarray:
+        return self._white_xyz.copy()

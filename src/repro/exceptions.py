@@ -1,0 +1,81 @@
+"""Exception hierarchy for the ColorBars reproduction.
+
+Every error raised by this library derives from :class:`ColorBarsError`, so
+callers can catch one type at an API boundary.  Subsystems raise the most
+specific subclass that applies; the message always states which invariant was
+violated and with which values.
+"""
+
+from __future__ import annotations
+
+
+class ColorBarsError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ColorBarsError):
+    """A configuration value is invalid or inconsistent with another value."""
+
+
+class ColorSpaceError(ColorBarsError):
+    """A color lies outside the representable range of a target color space."""
+
+
+class GamutError(ColorSpaceError):
+    """A chromaticity point lies outside the emitter's constellation triangle."""
+
+
+class ConstellationError(ColorBarsError):
+    """A CSK constellation is malformed (wrong size, duplicate symbols, ...)."""
+
+
+class ModulationError(ColorBarsError):
+    """The modulator was asked to encode data it cannot represent."""
+
+
+class DemodulationError(ColorBarsError):
+    """The demodulator could not map received samples onto symbols."""
+
+
+class FECError(ColorBarsError):
+    """Base class for forward-error-correction failures."""
+
+
+class GaloisFieldError(FECError):
+    """An operation on GF(2^8) elements was given out-of-range values."""
+
+
+class ReedSolomonError(FECError):
+    """Reed-Solomon encode/decode parameter or arithmetic failure."""
+
+
+class UncorrectableBlockError(ReedSolomonError):
+    """A codeword contained more errors/erasures than the code can correct."""
+
+
+class PacketError(ColorBarsError):
+    """Packet framing violated the ColorBars packet structure."""
+
+
+class PacketTooLargeError(PacketError):
+    """Payload exceeds what the 3-symbol size field can express."""
+
+
+class FramingError(PacketError):
+    """A received symbol stream could not be split into packets."""
+
+
+class CameraError(ColorBarsError):
+    """Camera simulator misconfiguration or capture failure."""
+
+
+class SensorTimingError(CameraError):
+    """Rolling-shutter timing parameters are inconsistent."""
+
+
+class CalibrationError(ColorBarsError):
+    """Receiver calibration state is missing or unusable."""
+
+
+class LinkError(ColorBarsError):
+    """End-to-end link simulation failed to produce a usable result."""

@@ -1,0 +1,169 @@
+"""Dense polynomials over GF(2^8).
+
+Coefficients are stored highest-degree first (``coeffs[0]`` multiplies the
+highest power), matching the conventional presentation of Reed-Solomon
+generator polynomials.  The class is immutable: every operation returns a new
+polynomial, which keeps the decoder logic easy to reason about.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import GaloisFieldError
+from repro.fec.gf256 import GF256
+
+
+class GFPolynomial:
+    """An immutable polynomial with coefficients in GF(2^8)."""
+
+    __slots__ = ("_coeffs",)
+
+    def __init__(self, coeffs: Sequence[int]) -> None:
+        normalized = list(coeffs)
+        for c in normalized:
+            GF256._check(c, "coefficient")
+        # Strip leading zeros but keep at least one coefficient.
+        index = 0
+        while index < len(normalized) - 1 and normalized[index] == 0:
+            index += 1
+        self._coeffs: Tuple[int, ...] = tuple(normalized[index:]) or (0,)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "GFPolynomial":
+        return cls([0])
+
+    @classmethod
+    def one(cls) -> "GFPolynomial":
+        return cls([1])
+
+    @classmethod
+    def monomial(cls, coefficient: int, degree: int) -> "GFPolynomial":
+        """``coefficient * x^degree``."""
+        if degree < 0:
+            raise GaloisFieldError(f"degree must be non-negative, got {degree}")
+        return cls([coefficient] + [0] * degree)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def coeffs(self) -> Tuple[int, ...]:
+        """Coefficients, highest degree first."""
+        return self._coeffs
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; the zero polynomial has degree 0."""
+        return len(self._coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return self._coeffs == (0,)
+
+    def coefficient(self, degree: int) -> int:
+        """Coefficient of ``x^degree`` (0 beyond the stored degree)."""
+        if degree < 0:
+            raise GaloisFieldError(f"degree must be non-negative, got {degree}")
+        if degree > self.degree:
+            return 0
+        return self._coeffs[self.degree - degree]
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "GFPolynomial") -> "GFPolynomial":
+        longer, shorter = self._coeffs, other._coeffs
+        if len(longer) < len(shorter):
+            longer, shorter = shorter, longer
+        result = list(longer)
+        offset = len(longer) - len(shorter)
+        for i, c in enumerate(shorter):
+            result[offset + i] ^= c
+        return GFPolynomial(result)
+
+    #: Subtraction equals addition in characteristic 2.
+    __sub__ = __add__
+
+    def __mul__(self, other: "GFPolynomial") -> "GFPolynomial":
+        if self.is_zero() or other.is_zero():
+            return GFPolynomial.zero()
+        result = [0] * (len(self._coeffs) + len(other._coeffs) - 1)
+        for i, a in enumerate(self._coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other._coeffs):
+                if b:
+                    result[i + j] ^= GF256.mul(a, b)
+        return GFPolynomial(result)
+
+    def scale(self, scalar: int) -> "GFPolynomial":
+        """Multiply every coefficient by a field scalar."""
+        GF256._check(scalar, "scalar")
+        return GFPolynomial([GF256.mul(c, scalar) for c in self._coeffs])
+
+    def shift(self, degree: int) -> "GFPolynomial":
+        """Multiply by ``x^degree``."""
+        if degree < 0:
+            raise GaloisFieldError(f"shift degree must be non-negative, got {degree}")
+        if self.is_zero():
+            return GFPolynomial.zero()
+        return GFPolynomial(list(self._coeffs) + [0] * degree)
+
+    def divmod(self, divisor: "GFPolynomial") -> Tuple["GFPolynomial", "GFPolynomial"]:
+        """Quotient and remainder of polynomial long division."""
+        if divisor.is_zero():
+            raise GaloisFieldError("polynomial division by zero")
+        if self.degree < divisor.degree:
+            return GFPolynomial.zero(), self
+        remainder = list(self._coeffs)
+        quotient = [0] * (self.degree - divisor.degree + 1)
+        lead_inverse = GF256.inverse(divisor._coeffs[0])
+        for i in range(len(quotient)):
+            coef = remainder[i]
+            if coef == 0:
+                continue
+            factor = GF256.mul(coef, lead_inverse)
+            quotient[i] = factor
+            for j, d in enumerate(divisor._coeffs):
+                remainder[i + j] ^= GF256.mul(factor, d)
+        tail = remainder[len(quotient):]
+        return GFPolynomial(quotient), GFPolynomial(tail or [0])
+
+    def __mod__(self, divisor: "GFPolynomial") -> "GFPolynomial":
+        return self.divmod(divisor)[1]
+
+    def __floordiv__(self, divisor: "GFPolynomial") -> "GFPolynomial":
+        return self.divmod(divisor)[0]
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, point: int) -> int:
+        """Evaluate at a field element using Horner's rule."""
+        GF256._check(point, "evaluation point")
+        acc = 0
+        for c in self._coeffs:
+            acc = GF256.mul(acc, point) ^ c
+        return acc
+
+    def derivative(self) -> "GFPolynomial":
+        """Formal derivative: odd-power terms survive in characteristic 2."""
+        if self.degree == 0:
+            return GFPolynomial.zero()
+        out: List[int] = []
+        for power in range(self.degree, 0, -1):
+            c = self.coefficient(power)
+            out.append(c if power % 2 == 1 else 0)
+        return GFPolynomial(out or [0])
+
+    # -- dunder plumbing ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GFPolynomial):
+            return NotImplemented
+        return self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return hash(self._coeffs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GFPolynomial({list(self._coeffs)})"

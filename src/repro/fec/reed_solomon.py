@@ -1,0 +1,358 @@
+"""Systematic Reed-Solomon codec over GF(2^8) with errors-and-erasures decoding.
+
+The codec operates on byte symbols.  ``ReedSolomonCodec(n, k)`` produces
+codewords of ``n`` bytes carrying ``k`` data bytes and ``2t = n - k`` parity
+bytes; it corrects up to ``t`` symbol errors, or any mix of ``e`` errors and
+``f`` erasures with ``2e + f <= n - k``.  Shortened codes (n < 255) are
+supported by the standard zero-prefix construction.
+
+The decode path is the classical chain: syndromes -> erasure locator ->
+Berlekamp-Massey (errata-aware) -> Chien search -> Forney magnitudes.
+
+ColorBars dimensions the code from the inter-frame loss ratio (paper §5);
+:func:`rs_params_for_loss` implements that sizing rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReedSolomonError, UncorrectableBlockError
+from repro.fec.gf256 import GF256
+from repro.fec.polynomial import GFPolynomial
+
+
+@dataclass(frozen=True)
+class RSParams:
+    """Reed-Solomon code dimensions and the channel assumptions behind them.
+
+    Produced by :func:`rs_params_for_loss`; consumed by the transmitter to
+    build a :class:`ReedSolomonCodec` matched to the receiver's inter-frame
+    gap.
+    """
+
+    n: int
+    k: int
+    symbols_per_frame: int
+    symbols_lost_per_gap: int
+
+    @property
+    def parity(self) -> int:
+        return self.n - self.k
+
+    @property
+    def correctable_errors(self) -> int:
+        return (self.n - self.k) // 2
+
+    @property
+    def code_rate(self) -> float:
+        return self.k / self.n
+
+
+def rs_params_for_loss(
+    symbol_rate: float,
+    frame_rate: float,
+    loss_ratio: float,
+    bits_per_symbol: int,
+    illumination_ratio: float,
+) -> RSParams:
+    """Dimension an RS code per ColorBars §5.
+
+    With symbol rate ``S``, frame rate ``F`` and inter-frame loss ratio ``l``:
+
+    * symbols received per frame  ``FS = (1 - l) * S / F``
+    * symbols lost per gap        ``LS = l * S / F``
+    * codeword bits  ``n = eta * C * (FS + LS)``
+    * data bits      ``k = eta * C * (FS - LS)``
+
+    where ``eta`` is the illumination ratio (useful-data share of symbols) and
+    ``C`` the bits per CSK symbol.  Bits are converted to whole bytes, with
+    parity rounded up so the byte-level code still covers the gap.
+
+    The paper's worked example (FS = 150, loss 1/6, 8-CSK, eta = 4/5) yields a
+    36-byte message, which this function reproduces.
+    """
+    if symbol_rate <= 0 or frame_rate <= 0:
+        raise ReedSolomonError("symbol_rate and frame_rate must be positive")
+    if not 0 <= loss_ratio < 0.5:
+        raise ReedSolomonError(
+            f"loss_ratio must be in [0, 0.5) for a decodable RS sizing, "
+            f"got {loss_ratio}"
+        )
+    if bits_per_symbol <= 0:
+        raise ReedSolomonError("bits_per_symbol must be positive")
+    if not 0 < illumination_ratio <= 1:
+        raise ReedSolomonError("illumination_ratio must be in (0, 1]")
+
+    symbols_per_period = symbol_rate / frame_rate
+    fs = (1.0 - loss_ratio) * symbols_per_period
+    ls = loss_ratio * symbols_per_period
+
+    n_bits = illumination_ratio * bits_per_symbol * (fs + ls)
+    k_bits = illumination_ratio * bits_per_symbol * (fs - ls)
+
+    n_bytes = max(int(n_bits // 8), 3)
+    k_bytes = max(int(k_bits // 8), 1)
+    # Keep parity even (2t) and at least 2.
+    parity = n_bytes - k_bytes
+    if parity < 2:
+        parity = 2
+    if parity % 2:
+        parity += 1
+    n_bytes = k_bytes + parity
+    if n_bytes > 255:
+        # Shorten by scaling k down; the symbol alphabet caps n at 255.
+        overshoot = n_bytes - 255
+        k_bytes = max(k_bytes - overshoot, 1)
+        n_bytes = k_bytes + parity
+        if n_bytes > 255:
+            raise ReedSolomonError(
+                f"loss ratio {loss_ratio} at rate {symbol_rate} needs parity "
+                f"{parity} > field limit"
+            )
+    return RSParams(
+        n=n_bytes,
+        k=k_bytes,
+        symbols_per_frame=int(round(fs)),
+        symbols_lost_per_gap=int(round(ls)),
+    )
+
+
+class ReedSolomonCodec:
+    """Systematic RS(n, k) encoder/decoder over GF(2^8).
+
+    >>> codec = ReedSolomonCodec(255, 223)
+    >>> word = codec.encode(bytes(range(223)))
+    >>> codec.decode(word) == bytes(range(223))
+    True
+    """
+
+    #: First consecutive root exponent of the generator polynomial.
+    FIRST_ROOT = 0
+
+    def __init__(self, n: int, k: int) -> None:
+        if not 0 < k < n <= 255:
+            raise ReedSolomonError(
+                f"invalid RS dimensions: need 0 < k < n <= 255, got n={n}, k={k}"
+            )
+        self.n = n
+        self.k = k
+        self.num_parity = n - k
+        self.t = self.num_parity // 2
+        self._generator = self._build_generator(self.num_parity)
+
+    @staticmethod
+    def _build_generator(num_parity: int) -> GFPolynomial:
+        gen = GFPolynomial.one()
+        for i in range(num_parity):
+            root = GF256.exp(ReedSolomonCodec.FIRST_ROOT + i)
+            gen = gen * GFPolynomial([1, root])
+        return gen
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, data: bytes) -> bytes:
+        """Append ``n - k`` parity bytes to exactly ``k`` data bytes."""
+        if len(data) != self.k:
+            raise ReedSolomonError(
+                f"encode expects exactly k={self.k} bytes, got {len(data)}"
+            )
+        message = GFPolynomial(list(data) or [0])
+        shifted = message.shift(self.num_parity)
+        remainder = shifted % self._generator
+        parity = list(remainder.coeffs)
+        parity = [0] * (self.num_parity - len(parity)) + parity
+        return bytes(data) + bytes(parity)
+
+    def encode_blocks(self, data: bytes, pad: int = 0) -> List[bytes]:
+        """Split arbitrary-length data into k-byte blocks and encode each.
+
+        The final block is padded with ``pad`` bytes; callers carry the true
+        length out of band (ColorBars puts it in the packet header).
+        """
+        blocks: List[bytes] = []
+        for offset in range(0, max(len(data), 1), self.k):
+            chunk = data[offset : offset + self.k]
+            if len(chunk) < self.k:
+                chunk = chunk + bytes([pad]) * (self.k - len(chunk))
+            blocks.append(self.encode(chunk))
+        return blocks
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(
+        self,
+        received: bytes,
+        erasure_positions: Optional[Sequence[int]] = None,
+    ) -> bytes:
+        """Decode one codeword, correcting errors and the given erasures.
+
+        ``erasure_positions`` are indices into ``received`` whose values are
+        known to be unreliable (e.g. symbols lost in the inter-frame gap and
+        filled with zeros).  Raises :class:`UncorrectableBlockError` when the
+        errata exceed the code's capability.
+        """
+        if len(received) != self.n:
+            raise ReedSolomonError(
+                f"decode expects exactly n={self.n} bytes, got {len(received)}"
+            )
+        erasures = sorted(set(erasure_positions or ()))
+        for pos in erasures:
+            if not 0 <= pos < self.n:
+                raise ReedSolomonError(
+                    f"erasure position {pos} outside codeword of length {self.n}"
+                )
+        if len(erasures) > self.num_parity:
+            raise UncorrectableBlockError(
+                f"{len(erasures)} erasures exceed parity budget {self.num_parity}"
+            )
+
+        codeword = list(received)
+        syndromes = self._syndromes(codeword)
+        if all(s == 0 for s in syndromes):
+            return bytes(codeword[: self.k])
+
+        corrected = self._correct(codeword, syndromes, erasures)
+        return bytes(corrected[: self.k])
+
+    def decode_blocks(
+        self,
+        blocks: Sequence[bytes],
+        erasure_map: Optional[Sequence[Sequence[int]]] = None,
+    ) -> bytes:
+        """Decode a sequence of codewords and concatenate the payloads."""
+        if erasure_map is not None and len(erasure_map) != len(blocks):
+            raise ReedSolomonError(
+                "erasure_map must align one entry per block "
+                f"({len(erasure_map)} != {len(blocks)})"
+            )
+        out = bytearray()
+        for index, block in enumerate(blocks):
+            erasures = erasure_map[index] if erasure_map is not None else None
+            out.extend(self.decode(bytes(block), erasures))
+        return bytes(out)
+
+    # -- decoder internals ---------------------------------------------------
+
+    def _syndromes(self, codeword: List[int]) -> List[int]:
+        poly = GFPolynomial(codeword)
+        return [
+            poly.evaluate(GF256.exp(self.FIRST_ROOT + i))
+            for i in range(self.num_parity)
+        ]
+
+    def _erasure_locator(self, erasures: Sequence[int]) -> GFPolynomial:
+        # Positions are indexed from the start of the codeword; the location
+        # exponent counts from the end (degree n-1 term is position 0).
+        locator = GFPolynomial.one()
+        for pos in erasures:
+            exponent = self.n - 1 - pos
+            locator = locator * GFPolynomial([GF256.exp(exponent), 1])
+        return locator
+
+    def _forney_syndromes(
+        self, syndromes: List[int], erasure_locator: GFPolynomial, num_erasures: int
+    ) -> List[int]:
+        """Modified syndromes that see only the *errors*, not the erasures.
+
+        With erasure locator Gamma and syndrome polynomial S, the product
+        ``Xi = Gamma * S mod x^2t`` has coefficients ``Xi_f .. Xi_{2t-1}``
+        forming a syndrome sequence for the unknown error positions alone.
+        """
+        syndrome_poly = GFPolynomial(list(reversed(syndromes)) or [0])
+        xi = (erasure_locator * syndrome_poly) % GFPolynomial.monomial(
+            1, self.num_parity
+        )
+        return [xi.coefficient(j) for j in range(num_erasures, self.num_parity)]
+
+    @staticmethod
+    def _berlekamp_massey(sequence: List[int]) -> Tuple[GFPolynomial, int]:
+        """Textbook Berlekamp-Massey: shortest LFSR generating ``sequence``.
+
+        Returns the connection polynomial C(x) = 1 + C_1 x + ... and its
+        LFSR length L.
+        """
+        c = GFPolynomial.one()
+        b_poly = GFPolynomial.one()
+        length = 0
+        m = 1
+        b = 1
+        for n, s_n in enumerate(sequence):
+            discrepancy = s_n
+            for i in range(1, length + 1):
+                discrepancy ^= GF256.mul(c.coefficient(i), sequence[n - i])
+            if discrepancy == 0:
+                m += 1
+            elif 2 * length <= n:
+                previous_c = c
+                c = c + b_poly.scale(GF256.div(discrepancy, b)).shift(m)
+                length = n + 1 - length
+                b_poly = previous_c
+                b = discrepancy
+                m = 1
+            else:
+                c = c + b_poly.scale(GF256.div(discrepancy, b)).shift(m)
+                m += 1
+        return c, length
+
+    def _chien_search(self, locator: GFPolynomial) -> List[int]:
+        """Return errata positions (indices into the codeword)."""
+        positions: List[int] = []
+        for position in range(self.n):
+            exponent = self.n - 1 - position
+            # X_i = alpha^exponent; roots of the locator are X_i^{-1}.
+            value = locator.evaluate(GF256.inverse(GF256.exp(exponent)))
+            if value == 0:
+                positions.append(position)
+        if len(positions) != locator.degree:
+            raise UncorrectableBlockError(
+                f"Chien search found {len(positions)} roots for a locator of "
+                f"degree {locator.degree}; block is uncorrectable"
+            )
+        return positions
+
+    def _correct(
+        self,
+        codeword: List[int],
+        syndromes: List[int],
+        erasures: Sequence[int],
+    ) -> List[int]:
+        erasure_locator = self._erasure_locator(erasures)
+        error_syndromes = self._forney_syndromes(
+            syndromes, erasure_locator, len(erasures)
+        )
+        error_locator, lfsr_length = self._berlekamp_massey(error_syndromes)
+        if lfsr_length > (self.num_parity - len(erasures)) // 2:
+            raise UncorrectableBlockError(
+                f"{lfsr_length} errors plus {len(erasures)} erasures exceed the "
+                f"capability of parity {self.num_parity}"
+            )
+        locator = error_locator * erasure_locator
+        positions = self._chien_search(locator)
+
+        # Forney with first root b = 0: the error magnitude at location X_i is
+        # X_i^(1-b) * Omega(X_i^-1) / Lambda'(X_i^-1) = X_i * Omega / Lambda'.
+        syndrome_poly = GFPolynomial(list(reversed(syndromes)) or [0])
+        omega = (syndrome_poly * locator) % GFPolynomial.monomial(1, self.num_parity)
+        derivative = locator.derivative()
+
+        for position in positions:
+            exponent = self.n - 1 - position
+            x_i = GF256.exp(exponent)
+            x_inverse = GF256.inverse(x_i)
+            denominator = derivative.evaluate(x_inverse)
+            if denominator == 0:
+                raise UncorrectableBlockError(
+                    "Forney denominator vanished; block is uncorrectable"
+                )
+            magnitude = GF256.mul(
+                x_i, GF256.div(omega.evaluate(x_inverse), denominator)
+            )
+            codeword[position] ^= magnitude
+
+        if any(s != 0 for s in self._syndromes(codeword)):
+            raise UncorrectableBlockError(
+                "residual syndromes after correction; block is uncorrectable"
+            )
+        return codeword

@@ -1,0 +1,30 @@
+"""End-to-end link simulation: transmitter -> camera -> receiver -> metrics.
+
+:class:`~repro.link.simulator.LinkSimulator` wires a
+:class:`~repro.core.system.ColorBarsTransmitter`, a device's
+:class:`~repro.camera.sensor.RollingShutterCamera` and the
+:class:`~repro.rx.receiver.ColorBarsReceiver` into one reproducible run, and
+exposes the parameter sweeps the paper's evaluation section performs.
+"""
+
+from repro.link.channel import ChannelConditions
+from repro.link.multi import FleetMember, FleetReport, broadcast_to_fleet
+from repro.link.simulator import LinkResult, LinkSimulator, sweep
+from repro.link.workloads import (
+    image_like_payload,
+    random_payload,
+    text_payload,
+)
+
+__all__ = [
+    "ChannelConditions",
+    "FleetMember",
+    "FleetReport",
+    "broadcast_to_fleet",
+    "LinkResult",
+    "LinkSimulator",
+    "sweep",
+    "image_like_payload",
+    "random_payload",
+    "text_payload",
+]

@@ -1,0 +1,52 @@
+"""Channel conditions: the optical environment between LED and camera.
+
+The paper evaluates at close range (within ~3 cm of a low-lumen LED) under
+indoor ambient light.  :class:`ChannelConditions` parameterizes the optics so
+benches can sweep distance and ambient level beyond the paper's operating
+point (range analysis is listed as future work in §10; the simulator makes
+it explorable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.camera.optics import Optics
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ChannelConditions:
+    """Distance and ambient-light setting of a link run."""
+
+    distance_m: float = 0.03
+    ambient_luminance: float = 0.5
+    vignetting_strength: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0:
+            raise ConfigurationError(
+                f"distance_m must be positive, got {self.distance_m}"
+            )
+        if self.ambient_luminance < 0:
+            raise ConfigurationError(
+                f"ambient_luminance must be >= 0, got {self.ambient_luminance}"
+            )
+        if not 0 <= self.vignetting_strength <= 1:
+            raise ConfigurationError(
+                "vignetting_strength must be in [0, 1], "
+                f"got {self.vignetting_strength}"
+            )
+
+    def make_optics(self) -> Optics:
+        """The optics model these conditions imply."""
+        return Optics(
+            vignetting_strength=self.vignetting_strength,
+            distance_m=self.distance_m,
+            ambient_luminance=self.ambient_luminance,
+        )
+
+    @classmethod
+    def paper_setup(cls) -> "ChannelConditions":
+        """The evaluation setup of §8: phone within 3 cm of the LED."""
+        return cls(distance_m=0.03, ambient_luminance=0.5)

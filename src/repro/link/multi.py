@@ -1,0 +1,121 @@
+"""Multi-receiver broadcast analysis.
+
+Paper §8's closing observation: one ColorBars transmitter serving many
+phones must provision its Reed-Solomon parity for the *worst* receiver it
+supports — "the achievable goodput remains bounded by the slowest (highest
+inter-frame loss ratio) smartphone".  This module makes that deployment
+question first-class: run one broadcast (one shared configuration) against
+a fleet of devices and report what each achieves, plus what each device
+*could* have achieved with a link provisioned just for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.camera.devices import DeviceProfile
+from repro.core.config import SystemConfig
+from repro.core.metrics import LinkMetrics
+from repro.exceptions import ConfigurationError
+from repro.link.channel import ChannelConditions
+from repro.link.simulator import LinkSimulator
+
+
+@dataclass
+class FleetMember:
+    """One receiver's outcome in a shared broadcast."""
+
+    device_name: str
+    shared_metrics: LinkMetrics
+    dedicated_metrics: Optional[LinkMetrics] = None
+
+    @property
+    def provisioning_cost_bps(self) -> Optional[float]:
+        """Goodput this device gives up because the link serves the fleet."""
+        if self.dedicated_metrics is None:
+            return None
+        return (
+            self.dedicated_metrics.goodput_bps - self.shared_metrics.goodput_bps
+        )
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one broadcast across a device fleet."""
+
+    shared_config_description: str
+    worst_loss_ratio: float
+    members: List[FleetMember] = field(default_factory=list)
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"shared link: {self.shared_config_description} "
+            f"(provisioned for loss {self.worst_loss_ratio:.3f})"
+        ]
+        for member in self.members:
+            line = (
+                f"  {member.device_name}: "
+                f"goodput {member.shared_metrics.goodput_bps:.0f} bps, "
+                f"SER {member.shared_metrics.data_symbol_error_rate:.4f}"
+            )
+            if member.dedicated_metrics is not None:
+                line += (
+                    f" (dedicated link would give "
+                    f"{member.dedicated_metrics.goodput_bps:.0f} bps)"
+                )
+            lines.append(line)
+        return lines
+
+
+def broadcast_to_fleet(
+    devices: Sequence[DeviceProfile],
+    csk_order: int = 16,
+    symbol_rate: float = 3000.0,
+    duration_s: float = 2.0,
+    payload: Optional[bytes] = None,
+    channel: Optional[ChannelConditions] = None,
+    compare_dedicated: bool = True,
+    seed: int = 0,
+) -> FleetReport:
+    """One transmitter, many phones: the §8 deployment scenario.
+
+    The shared configuration provisions FEC for the fleet's worst loss
+    ratio; with ``compare_dedicated=True`` each device is also run against
+    a link provisioned for it alone, quantifying the §8 bound.
+    """
+    if not devices:
+        raise ConfigurationError("fleet must contain at least one device")
+    worst_loss = max(device.timing.gap_fraction for device in devices)
+    shared_config = SystemConfig(
+        csk_order=csk_order,
+        symbol_rate=symbol_rate,
+        design_loss_ratio=worst_loss,
+    )
+    report = FleetReport(
+        shared_config_description=shared_config.describe(),
+        worst_loss_ratio=worst_loss,
+    )
+    for index, device in enumerate(devices):
+        shared = LinkSimulator(
+            shared_config, device, channel=channel, seed=seed + index
+        ).run(payload=payload, duration_s=duration_s)
+        dedicated_metrics = None
+        if compare_dedicated:
+            dedicated_config = SystemConfig(
+                csk_order=csk_order,
+                symbol_rate=symbol_rate,
+                design_loss_ratio=device.timing.gap_fraction,
+            )
+            dedicated = LinkSimulator(
+                dedicated_config, device, channel=channel, seed=seed + index
+            ).run(payload=payload, duration_s=duration_s)
+            dedicated_metrics = dedicated.metrics
+        report.members.append(
+            FleetMember(
+                device_name=device.name,
+                shared_metrics=shared.metrics,
+                dedicated_metrics=dedicated_metrics,
+            )
+        )
+    return report

@@ -1,0 +1,176 @@
+"""The end-to-end link simulator and parameter sweeps.
+
+One :class:`LinkSimulator` run reproduces the paper's measurement procedure:
+the transmitter broadcasts a payload cyclically, the simulated phone records
+video for a duration, the receiver decodes the frames, and the metrics are
+computed against the on-air ground truth.  :func:`sweep` runs the CSK-order
+x symbol-rate grid of Figs 9-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.camera.devices import DeviceProfile
+from repro.core.config import SystemConfig
+from repro.core.metrics import (
+    GroundTruthMatch,
+    LinkMetrics,
+    align_ground_truth,
+    compute_link_metrics,
+)
+from repro.core.system import ColorBarsTransmitter, TransmissionPlan, make_receiver
+from repro.exceptions import LinkError
+from repro.link.channel import ChannelConditions
+from repro.link.workloads import text_payload
+from repro.phy.waveform import EXTEND_CYCLE
+from repro.rx.receiver import ReceiverReport
+from repro.util.validation import require_positive
+
+
+@dataclass
+class LinkResult:
+    """Everything one simulated link run produced."""
+
+    config: SystemConfig
+    device_name: str
+    metrics: LinkMetrics
+    report: ReceiverReport
+    plan: TransmissionPlan
+    matches: List[GroundTruthMatch] = field(default_factory=list)
+
+    def delivered_payload(self) -> bytes:
+        """Concatenation of every successfully decoded packet payload."""
+        return b"".join(self.report.payloads)
+
+    def recovered_broadcast(self) -> Optional[bytes]:
+        """The original payload, if at least one full cycle was recovered.
+
+        The broadcast repeats, so a long enough recording yields every
+        codeword at least once.  Each decoded payload is the k-byte prefix
+        of its (systematic) codeword; matching prefixes identifies which
+        block of the cycle it came from.  Returns ``None`` unless every
+        block of the cycle was decoded at least once.
+        """
+        index_of_prefix = {
+            bytes(codeword[: len(codeword) - (len(codeword) - self._k())]): i
+            for i, codeword in enumerate(self.plan.codewords)
+        }
+        recovered: Dict[int, bytes] = {}
+        for payload in self.report.payloads:
+            index = index_of_prefix.get(bytes(payload))
+            if index is not None:
+                recovered.setdefault(index, payload)
+        if len(recovered) < len(self.plan.codewords):
+            return None
+        joined = b"".join(recovered[i] for i in range(len(self.plan.codewords)))
+        return joined[: len(self.plan.payload)]
+
+    def _k(self) -> int:
+        """Payload bytes per codeword in this run's plan."""
+        if not self.report.payloads:
+            return len(self.plan.codewords[0]) if self.plan.codewords else 0
+        return len(self.report.payloads[0])
+
+
+class LinkSimulator:
+    """Reproducible transmitter-camera-receiver runs for one device."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        device: DeviceProfile,
+        channel: Optional[ChannelConditions] = None,
+        simulated_columns: int = 48,
+        seed=0,
+    ) -> None:
+        self.config = config
+        self.device = device
+        self.channel = channel if channel is not None else ChannelConditions.paper_setup()
+        self.simulated_columns = simulated_columns
+        self.seed = seed
+
+    def run(
+        self,
+        payload: Optional[bytes] = None,
+        duration_s: float = 2.0,
+    ) -> LinkResult:
+        """Broadcast ``payload`` cyclically and record for ``duration_s``."""
+        require_positive(duration_s, "duration_s")
+        if payload is None:
+            payload = text_payload(3 * self.config.rs_params().k, seed=self.seed)
+
+        transmitter = ColorBarsTransmitter(self.config)
+        plan = transmitter.plan(payload)
+        waveform = transmitter.waveform(plan, extend=EXTEND_CYCLE)
+
+        profile = DeviceProfile(
+            name=self.device.name,
+            timing=self.device.timing,
+            response=self.device.response,
+            noise=self.device.noise,
+            optics=self.channel.make_optics(),
+        )
+        camera = profile.make_camera(
+            simulated_columns=self.simulated_columns, seed=self.seed
+        )
+        frames = camera.record(waveform, duration=duration_s)
+        if not frames:
+            raise LinkError(
+                f"duration {duration_s}s too short for one frame at "
+                f"{profile.timing.frame_rate} fps"
+            )
+
+        receiver = make_receiver(self.config, profile.timing)
+        report = receiver.process_frames(frames)
+        matches = align_ground_truth(report.bands, plan.symbols, waveform)
+        metrics = compute_link_metrics(
+            report=report,
+            matches=matches,
+            bits_per_symbol=self.config.bits_per_symbol,
+            payload_bytes_per_packet=transmitter.payload_bytes_per_packet(),
+            duration_s=duration_s,
+        )
+        return LinkResult(
+            config=self.config,
+            device_name=self.device.name,
+            metrics=metrics,
+            report=report,
+            plan=plan,
+            matches=matches,
+        )
+
+
+def sweep(
+    device: DeviceProfile,
+    orders: Sequence[int] = (4, 8, 16, 32),
+    symbol_rates: Sequence[float] = (1000.0, 2000.0, 3000.0, 4000.0),
+    duration_s: float = 2.0,
+    seed=0,
+    config_overrides: Optional[Callable[[SystemConfig], SystemConfig]] = None,
+    **config_kwargs,
+) -> Dict[Tuple[int, float], LinkResult]:
+    """The Figs 9-11 grid: CSK order x symbol rate for one device.
+
+    Returns ``{(order, rate): LinkResult}``.  Combinations whose band width
+    falls below the 10-row minimum for the device are skipped (the paper's
+    §4 feasibility constraint), mirroring what a real deployment must do.
+    """
+    results: Dict[Tuple[int, float], LinkResult] = {}
+    for order in orders:
+        for rate in symbol_rates:
+            if device.timing.rows_per_symbol(rate) < 10:
+                continue
+            config = SystemConfig(
+                csk_order=order,
+                symbol_rate=rate,
+                design_loss_ratio=device.timing.gap_fraction,
+                frame_rate=device.timing.frame_rate,
+                **config_kwargs,
+            )
+            if config_overrides is not None:
+                config = config_overrides(config)
+            simulator = LinkSimulator(config, device, seed=seed)
+            results[(order, rate)] = simulator.run(duration_s=duration_s)
+    return results

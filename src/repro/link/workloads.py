@@ -1,0 +1,72 @@
+"""Payload generators for link experiments.
+
+The paper motivates ColorBars with location-specific content delivery:
+advertisements, promotions, floor maps, navigation hints — small textual or
+image payloads broadcast by a luminaire.  These generators produce such
+payloads deterministically for benches and examples.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.util.rng import make_rng
+
+
+def random_payload(size: int, seed=0) -> bytes:
+    """Uniformly random bytes — the worst case for any entropy coding."""
+    if size <= 0:
+        raise ConfigurationError(f"size must be positive, got {size}")
+    rng = make_rng(seed)
+    return bytes(rng.integers(0, 256, size, dtype=np.uint8))
+
+
+def text_payload(size: int, seed=0) -> bytes:
+    """ASCII text resembling retail/navigation broadcast content."""
+    if size <= 0:
+        raise ConfigurationError(f"size must be positive, got {size}")
+    fragments = [
+        b"AISLE 7: household LEDs 20% off this week. ",
+        b"Turn left at the next junction for conference room B204. ",
+        b"Today's promotion: buy two get one free on batteries. ",
+        b"Exit route: corridor east, stairwell two floors down. ",
+        b"Gate 12 boarding begins 14:35, walk time 6 minutes. ",
+    ]
+    rng = make_rng(seed)
+    out = bytearray()
+    while len(out) < size:
+        out.extend(fragments[int(rng.integers(0, len(fragments)))])
+    return bytes(out[:size])
+
+
+def image_like_payload(size: int, seed=0) -> bytes:
+    """Bytes with the statistics of a small compressed image.
+
+    Compressed image data is high-entropy but not uniform; we synthesize a
+    tiny gradient-plus-noise bitmap and deflate it, then cycle the result to
+    the requested size.
+    """
+    if size <= 0:
+        raise ConfigurationError(f"size must be positive, got {size}")
+    rng = make_rng(seed)
+    side = 32
+    gradient = np.linspace(0, 255, side, dtype=np.uint8)
+    bitmap = np.add.outer(gradient, gradient) // 2
+    noisy = (bitmap + rng.integers(0, 32, bitmap.shape)).astype(np.uint8)
+    compressed = zlib.compress(noisy.tobytes(), level=9)
+    repeats = -(-size // len(compressed))
+    return (compressed * repeats)[:size]
+
+
+def beacon_payload(identifier: int, url: str = "") -> bytes:
+    """A minimal smart-sign beacon: 4-byte id plus an optional URL."""
+    if not 0 <= identifier < 2**32:
+        raise ConfigurationError(
+            f"identifier must fit in 32 bits, got {identifier}"
+        )
+    body = identifier.to_bytes(4, "big") + url.encode("utf-8")
+    checksum = zlib.crc32(body).to_bytes(4, "big")
+    return body + checksum

@@ -1,0 +1,194 @@
+"""Tri-LED emitter model.
+
+A tri-LED luminaire combines a red, a green and a blue LED die; driving them
+with different PWM duty cycles mixes any chromaticity inside the triangle
+spanned by the three primaries (paper §2.2).
+
+Chromaticity mixing is linear in each source's *tristimulus sum*
+``S = X + Y + Z``: the barycentric coordinates of a target point in the xy
+gamut triangle are exactly the per-primary shares of total S.  CSK therefore
+holds total S constant across symbols (the 802.15.7 constant-power
+constraint) — a pure-blue symbol is then photometrically dimmer than white,
+as a real RGB LED is, instead of radiometrically explosive.  The emitter
+converts between target chromaticity and per-primary duty cycles in these
+units and reports the emitted CIE XYZ light for any duty triple — the
+quantity the camera simulator integrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.color.chromaticity import ChromaticityPoint, GamutTriangle
+from repro.color.ciexyz import xy_to_XYZ
+from repro.exceptions import GamutError
+from repro.phy.pwm import PwmController
+from repro.util.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class LedPrimary:
+    """One LED die: its chromaticity and full-duty luminance (arbitrary units)."""
+
+    name: str
+    chromaticity: ChromaticityPoint
+    max_luminance: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.max_luminance, f"{self.name} max_luminance")
+        if self.chromaticity.y <= 0:
+            raise GamutError(
+                f"{self.name} primary has y <= 0; it emits no luminance"
+            )
+
+    @property
+    def max_power_sum(self) -> float:
+        """Tristimulus sum X+Y+Z at full duty (the CSK mixing unit)."""
+        return self.max_luminance / self.chromaticity.y
+
+    @property
+    def xyz_at_full_duty(self) -> np.ndarray:
+        """Emitted XYZ when driven at duty 1.0."""
+        return xy_to_XYZ(self.chromaticity.as_array(), Y=self.max_luminance)
+
+
+class TriLedEmitter:
+    """The full tri-LED: three primaries plus an optional PWM controller.
+
+    The emitter's gamut triangle doubles as the CSK constellation canvas;
+    its centroid is the "white" used for illumination symbols.
+    """
+
+    def __init__(
+        self,
+        red: LedPrimary,
+        green: LedPrimary,
+        blue: LedPrimary,
+        pwm: Optional[PwmController] = None,
+    ) -> None:
+        self.red = red
+        self.green = green
+        self.blue = blue
+        self.pwm = pwm if pwm is not None else PwmController()
+        self.gamut = GamutTriangle(
+            red.chromaticity, green.chromaticity, blue.chromaticity
+        )
+        self._full_duty_xyz = np.stack(
+            [red.xyz_at_full_duty, green.xyz_at_full_duty, blue.xyz_at_full_duty]
+        )
+
+    @property
+    def primaries(self) -> Tuple[LedPrimary, LedPrimary, LedPrimary]:
+        return (self.red, self.green, self.blue)
+
+    @property
+    def white_point(self) -> ChromaticityPoint:
+        """Chromaticity of the illumination 'white' (equal power shares)."""
+        return self.gamut.centroid()
+
+    def max_power_at(self, chromaticity: ChromaticityPoint) -> float:
+        """Largest total tristimulus sum reproducible at ``chromaticity``."""
+        weights = self.gamut.mixing_weights(chromaticity)
+        limits = []
+        for weight, primary in zip(weights, self.primaries):
+            if weight > 1e-12:
+                limits.append(primary.max_power_sum / weight)
+        require(bool(limits), "mixing weights are all zero")
+        return min(limits)
+
+    def duties_for(
+        self, chromaticity: ChromaticityPoint, power_sum: float
+    ) -> np.ndarray:
+        """Duty cycles reproducing ``chromaticity`` at total power ``power_sum``.
+
+        ``power_sum`` is the target tristimulus sum X+Y+Z of the mixture.
+        Raises :class:`GamutError` if the point is outside the triangle or
+        the power exceeds :meth:`max_power_at`.
+        """
+        require_positive(power_sum, "power_sum")
+        ceiling = self.max_power_at(chromaticity)
+        if power_sum > ceiling * (1 + 1e-9):
+            raise GamutError(
+                f"power {power_sum:.3f} exceeds the emitter's maximum "
+                f"{ceiling:.3f} at ({chromaticity.x:.3f}, {chromaticity.y:.3f})"
+            )
+        weights = self.gamut.mixing_weights(chromaticity)
+        per_primary_power = weights * power_sum
+        duties = np.array(
+            [
+                power / primary.max_power_sum
+                for power, primary in zip(per_primary_power, self.primaries)
+            ]
+        )
+        return np.clip(duties, 0.0, 1.0)
+
+    def emitted_xyz(self, duties: Sequence[float]) -> np.ndarray:
+        """CIE XYZ of the combined light for a duty triple (additive mixing)."""
+        duties_arr = np.asarray(duties, dtype=float)
+        require(duties_arr.shape == (3,), f"need 3 duties, got {duties_arr.shape}")
+        require(
+            bool(np.all((duties_arr >= 0) & (duties_arr <= 1))),
+            f"duties must lie in [0, 1], got {duties_arr}",
+        )
+        return duties_arr @ self._full_duty_xyz
+
+    def emit_chromaticity(
+        self,
+        chromaticity: ChromaticityPoint,
+        power_sum: Optional[float] = None,
+        quantize: bool = True,
+    ) -> np.ndarray:
+        """Emitted XYZ for a target chromaticity.
+
+        ``power_sum`` defaults to the constellation operating level
+        (:meth:`default_symbol_power`).  ``quantize`` routes the duty triple
+        through the PWM resolution model.
+        """
+        if power_sum is None:
+            power_sum = self.default_symbol_power()
+        duties = self.duties_for(chromaticity, power_sum)
+        if quantize:
+            duties = np.asarray(self.pwm.quantize_duties(duties.tolist()))
+        return self.emitted_xyz(duties)
+
+    def default_symbol_power(self) -> float:
+        """The shared tristimulus sum at which all symbols are emitted.
+
+        Constant total power across symbols is the 802.15.7 CSK operating
+        constraint; only chromaticity carries information.  The ceiling is
+        set by the gamut's vertices — each reproducible by a single die — so
+        the default is 60% of the weakest primary's full-duty power, which is
+        reachable everywhere in the triangle.
+        """
+        return 0.6 * min(p.max_power_sum for p in self.primaries)
+
+    def off_xyz(self) -> np.ndarray:
+        """Emission during an OFF symbol: darkness."""
+        return np.zeros(3)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TriLedEmitter(white={self.white_point!r}, "
+            f"Y_max={[p.max_luminance for p in self.primaries]})"
+        )
+
+
+def typical_tri_led(
+    max_luminance: float = 100.0, pwm: Optional[PwmController] = None
+) -> TriLedEmitter:
+    """A representative RGB tri-LED.
+
+    Primary chromaticities sit near the 802.15.7 color-band centers used for
+    CSK gamuts: deep red (0.700, 0.300), green (0.170, 0.700) and royal blue
+    (0.135, 0.040).  ``max_luminance`` is each die's full-duty luminance.
+    """
+    require_positive(max_luminance, "max_luminance")
+    return TriLedEmitter(
+        red=LedPrimary("red", ChromaticityPoint(0.700, 0.300), max_luminance),
+        green=LedPrimary("green", ChromaticityPoint(0.170, 0.700), max_luminance),
+        blue=LedPrimary("blue", ChromaticityPoint(0.135, 0.040), max_luminance),
+        pwm=pwm,
+    )

@@ -1,0 +1,447 @@
+"""Cross-frame packet assembly with inter-frame-gap erasure accounting.
+
+A ColorBars packet is sized to one frame period plus one gap (paper §5), so
+most packets straddle a frame boundary: a prefix arrives in frame *i*, a
+burst of symbols vanishes in the gap, and the suffix arrives in frame
+*i + 1*.  Because the receiver knows the frame timing, it knows *where* in
+the packet the burst sits and *how many* symbols it swallowed — which turns
+the loss into byte erasures at known positions for the Reed-Solomon decoder
+(far stronger than treating them as unknown-position errors).
+
+The assembler consumes the per-frame band streams and emits
+:class:`ReceivedPacket` objects carrying the reconstructed codeword bytes
+and their erasure positions, plus calibration events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.csk.demodulator import DecisionKind
+from repro.exceptions import FramingError
+from repro.packet.framing import (
+    CALIBRATION_FLAG,
+    DATA_FLAG,
+    DELIMITER,
+    PacketKind,
+)
+from repro.packet.packetizer import Packetizer
+from repro.rx.detector import ReceivedBand
+from repro.util.bitstream import bits_to_bytes, int_to_bits
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True)
+class StreamItem:
+    """One element of the stitched symbol stream: a band or a loss marker.
+
+    ``band`` is ``None`` for gap markers, in which case ``lost`` counts the
+    symbols the inter-frame gap swallowed at this position.
+    """
+
+    band: Optional[ReceivedBand]
+    lost: int = 0
+
+    @property
+    def is_gap(self) -> bool:
+        return self.band is None
+
+    def char(self) -> str:
+        return "_" if self.is_gap else self.band.to_char()
+
+
+@dataclass
+class ReceivedPacket:
+    """A reassembled data packet ready for FEC decoding."""
+
+    codeword: bytes
+    erasure_positions: List[int]
+    header_bytes: int
+    symbols_received: int
+    symbols_erased: int
+    complete: bool
+    first_frame: int
+    symbol_errors_vs_layout: int = 0
+
+
+@dataclass
+class CalibrationEvent:
+    """A received calibration packet's measured colors.
+
+    ``indices`` lists which constellation symbols were actually received —
+    calibration symbols go out in index order, so surviving bands map to
+    indices by position even when the inter-frame gap cut the packet.
+    """
+
+    indices: List[int]
+    symbol_chroma: np.ndarray
+    white_chroma: Optional[np.ndarray]
+    frame_index: int
+
+    @property
+    def complete(self) -> bool:
+        return len(self.indices) == self.symbol_chroma.shape[0]
+
+
+@dataclass
+class AssemblerStats:
+    """Counters the receiver reports (packet accounting of §8)."""
+
+    preambles_seen: int = 0
+    data_packets_ok: int = 0
+    data_packets_dropped_header: int = 0
+    data_packets_dropped_size: int = 0
+    calibration_packets_ok: int = 0
+    calibration_packets_dropped: int = 0
+    symbols_consumed: int = 0
+    symbols_lost_in_gaps: int = 0
+
+
+class PacketAssembler:
+    """Stitches frames, locates packets, reconstructs codewords + erasures."""
+
+    def __init__(self, packetizer: Packetizer, symbol_rate: float) -> None:
+        require_positive(symbol_rate, "symbol_rate")
+        self.packetizer = packetizer
+        self.symbol_rate = float(symbol_rate)
+        self.stats = AssemblerStats()
+
+    # -- stream stitching ------------------------------------------------
+
+    def stitch(
+        self, per_frame_bands: Sequence[Sequence[ReceivedBand]]
+    ) -> List[StreamItem]:
+        """Merge per-frame band lists, inserting gap markers between frames.
+
+        The number of symbols lost between two frames comes from band
+        timing: consecutive received bands are one symbol period apart on
+        air, so a larger time difference across a frame boundary means
+        ``round(dt / T) - 1`` symbols vanished (gap plus any edge bands the
+        segmenter discarded).
+        """
+        period = 1.0 / self.symbol_rate
+        items: List[StreamItem] = []
+        previous_band: Optional[ReceivedBand] = None
+        for frame_bands in per_frame_bands:
+            for band in frame_bands:
+                if previous_band is not None:
+                    dt = band.mid_time - previous_band.mid_time
+                    missing = int(round(dt / period)) - 1
+                    if missing > 0:
+                        items.append(StreamItem(band=None, lost=missing))
+                        self.stats.symbols_lost_in_gaps += missing
+                items.append(StreamItem(band=band))
+                previous_band = band
+        self.stats.symbols_consumed += sum(1 for i in items if not i.is_gap)
+        return items
+
+    # -- preamble matching -------------------------------------------------
+
+    @staticmethod
+    def _classify_char(item: StreamItem) -> str:
+        """'o' for a dark band, 'x' for any lit band, '_' for a gap.
+
+        Preambles are matched on the OFF-symbol *skeleton* only: the dark
+        symbol is the one band class that is trivially reliable ("easily
+        identified", §5), whereas the white bands between them can drift
+        toward data colors under exposure/white-balance wander.  Since OFF
+        appears nowhere outside preambles, the skeleton alone identifies
+        them with negligible false-positive probability.
+        """
+        if item.is_gap:
+            return "_"
+        if item.band.decision.kind is DecisionKind.OFF:
+            return "o"
+        return "x"
+
+    @staticmethod
+    def _skeleton(pattern: str) -> str:
+        """Map an o/w preamble string to its dark/lit skeleton."""
+        return "".join("o" if c == "o" else "x" for c in pattern)
+
+    def _find_preambles(self, chars: str) -> List[tuple]:
+        calibration = self._skeleton(DELIMITER + CALIBRATION_FLAG)
+        data = self._skeleton(DELIMITER + DATA_FLAG)
+        matches: List[tuple] = []
+        position = 0
+        while position < len(chars):
+            if chars.startswith(calibration, position):
+                matches.append((position, PacketKind.CALIBRATION))
+                position += len(calibration)
+            elif chars.startswith(data, position):
+                matches.append((position, PacketKind.DATA))
+                position += len(data)
+            else:
+                position += 1
+        return matches
+
+    # -- packet extraction -------------------------------------------------
+
+    def extract(
+        self, items: List[StreamItem]
+    ) -> tuple:
+        """Locate packets in a stitched stream.
+
+        Returns ``(packets, calibration_events)``.  Data packets whose
+        header (size field) was damaged or whose advertised size is
+        impossible are dropped, as the paper specifies.
+        """
+        chars = "".join(self._classify_char(item) for item in items)
+        matches = self._find_preambles(chars)
+        self.stats.preambles_seen += len(matches)
+
+        packets: List[ReceivedPacket] = []
+        calibrations: List[CalibrationEvent] = []
+        for match_index, (start, kind) in enumerate(matches):
+            flag = DATA_FLAG if kind is PacketKind.DATA else CALIBRATION_FLAG
+            body_start = start + len(DELIMITER) + len(flag)
+            limit = (
+                matches[match_index + 1][0]
+                if match_index + 1 < len(matches)
+                else len(items)
+            )
+            if kind is PacketKind.CALIBRATION:
+                event = self._extract_calibration(items, body_start, limit)
+                if event is None:
+                    self.stats.calibration_packets_dropped += 1
+                else:
+                    self.stats.calibration_packets_ok += 1
+                    calibrations.append(event)
+            else:
+                packet = self._extract_data(items, body_start, limit)
+                if packet is not None:
+                    packets.append(packet)
+        return packets, calibrations
+
+    def _anchor_time(self, items: List[StreamItem], body_start: int) -> float:
+        """On-air time of the last preamble symbol before ``body_start``.
+
+        Slot indices within a packet are derived from band timing relative
+        to this anchor: cumulative gap *counts* can drift by a symbol across
+        frame boundaries, but each band's own exposure-core time is accurate
+        to a fraction of a symbol, so ``round(dt / T)`` indexes slots exactly.
+        """
+        anchor = items[body_start - 1]
+        if anchor.is_gap:  # cannot happen for a matched preamble
+            raise FramingError("preamble ended in a gap marker")
+        return anchor.band.mid_time
+
+    def _timed_slot(self, anchor_time: float, band_time: float) -> int:
+        """Slot index (0-based after the anchor symbol) from band timing."""
+        period = 1.0 / self.symbol_rate
+        return int(round((band_time - anchor_time) / period)) - 1
+
+    def _extract_calibration(
+        self, items: List[StreamItem], body_start: int, limit: int
+    ) -> Optional[CalibrationEvent]:
+        """Collect calibration colors, tolerating a gap mid-packet.
+
+        Calibration symbols go out in index order; each surviving band maps
+        to its constellation index by its timing offset from the preamble.
+        """
+        order = self.packetizer.mapper.constellation.order
+        anchor_time = self._anchor_time(items, body_start)
+        indices: List[int] = []
+        chroma_rows: List[np.ndarray] = []
+        frame_index = -1
+        position = body_start
+        while position < limit and position < len(items):
+            item = items[position]
+            position += 1
+            if item.is_gap:
+                continue
+            slot = self._timed_slot(anchor_time, item.band.mid_time)
+            if slot >= order:
+                break
+            if slot < 0 or (indices and slot <= indices[-1]):
+                continue
+            if frame_index < 0:
+                frame_index = item.band.frame_index
+            indices.append(slot)
+            chroma_rows.append(item.band.chroma)
+        if not indices:
+            return None
+        chroma = np.stack(chroma_rows)
+        # White reference: mean chroma of the flag's lit bands (the flag's
+        # bright symbols are white by construction, whatever they decoded as).
+        whites = [
+            items[i].band.chroma
+            for i in range(max(body_start - len(CALIBRATION_FLAG), 0), body_start)
+            if not items[i].is_gap
+            and items[i].band.decision.kind is not DecisionKind.OFF
+        ]
+        white = np.mean(whites, axis=0) if whites else None
+        return CalibrationEvent(
+            indices=indices,
+            symbol_chroma=chroma,
+            white_chroma=white,
+            frame_index=frame_index,
+        )
+
+    def _extract_data(
+        self, items: List[StreamItem], body_start: int, limit: int
+    ) -> Optional[ReceivedPacket]:
+        size_symbols = self.packetizer.config.size_field_symbols
+        anchor_time = self._anchor_time(items, body_start)
+
+        # Size field: the first `size_symbols` timed slots must all be
+        # present, contiguous DATA bands — a header touched by the gap (or
+        # demodulated as anything but data) drops the packet, per §5.
+        size_slots = items[body_start : body_start + size_symbols]
+        if (
+            len(size_slots) < size_symbols
+            or any(
+                s.is_gap
+                or s.band.decision.kind is not DecisionKind.DATA
+                or s.band.decision.index is None
+                for s in size_slots
+            )
+            or any(
+                self._timed_slot(anchor_time, s.band.mid_time) != i
+                for i, s in enumerate(size_slots)
+            )
+        ):
+            self.stats.data_packets_dropped_header += 1
+            return None
+
+        bits: List[int] = []
+        for slot in size_slots:
+            bits.extend(
+                int_to_bits(
+                    self.packetizer.mapper.label_of_index(
+                        slot.band.decision.index
+                    ),
+                    self.packetizer.bits_per_symbol,
+                )
+            )
+        codeword_bytes = 0
+        for bit in bits:
+            codeword_bytes = (codeword_bytes << 1) | bit
+        if codeword_bytes == 0 or codeword_bytes > self.packetizer.max_codeword_bytes:
+            self.stats.data_packets_dropped_size += 1
+            return None
+
+        layout = self.packetizer.body_layout(codeword_bytes)
+        slots_needed = len(layout)
+        slot_decisions, symbols_received, symbols_erased, layout_errors = (
+            self._collect_body_slots(
+                items,
+                body_start + size_symbols,
+                limit,
+                slots_needed,
+                layout,
+                anchor_time,
+                size_symbols,
+            )
+        )
+        codeword, erasures = self._slots_to_codeword(
+            slot_decisions, layout, codeword_bytes
+        )
+        packet = ReceivedPacket(
+            codeword=codeword,
+            erasure_positions=erasures,
+            header_bytes=codeword_bytes,
+            symbols_received=symbols_received,
+            symbols_erased=symbols_erased,
+            complete=symbols_erased == 0,
+            first_frame=size_slots[0].band.frame_index,
+            symbol_errors_vs_layout=layout_errors,
+        )
+        self.stats.data_packets_ok += 1
+        return packet
+
+    def _collect_body_slots(
+        self,
+        items: List[StreamItem],
+        start: int,
+        limit: int,
+        slots_needed: int,
+        layout: List[bool],
+        anchor_time: float,
+        slot_offset: int,
+    ) -> tuple:
+        """Place received bands into body slots by their on-air timing.
+
+        Each band's timed offset from the preamble anchor names its slot
+        exactly (gap *counts* can drift by a symbol across frame boundaries;
+        band core times cannot).  Slots no band landed on — the inter-frame
+        burst — become erasures.  Returns ``(slot_values, received, erased,
+        layout_errors)`` where a slot value is a data index (int), 'w' for a
+        white, or ``None`` for an erasure; ``layout_errors`` counts received
+        slots whose class contradicts the white/data layout.
+        """
+        slot_values: List[object] = [None] * slots_needed
+        received = 0
+        layout_errors = 0
+        position = start
+        while position < limit and position < len(items):
+            item = items[position]
+            position += 1
+            if item.is_gap:
+                continue
+            slot = self._timed_slot(anchor_time, item.band.mid_time) - slot_offset
+            if slot < 0:
+                continue
+            if slot >= slots_needed:
+                break
+            if slot_values[slot] is not None:
+                layout_errors += 1
+                continue
+            decision = item.band.decision
+            expected_white = layout[slot]
+            if decision.kind is DecisionKind.WHITE:
+                if not expected_white:
+                    layout_errors += 1
+                slot_values[slot] = "w"
+            elif decision.kind is DecisionKind.DATA and decision.index is not None:
+                if expected_white:
+                    layout_errors += 1
+                slot_values[slot] = decision.index
+            else:
+                # OFF inside a body: a corrupted slot, left as an erasure.
+                continue
+            received += 1
+        erased = sum(1 for v in slot_values if v is None)
+        return slot_values, received, erased, layout_errors
+
+    def _slots_to_codeword(
+        self,
+        slot_values: List[object],
+        layout: List[bool],
+        codeword_bytes: int,
+    ) -> tuple:
+        """Strip whites by layout; map data slots to bytes with erasures."""
+        bits_per_symbol = self.packetizer.bits_per_symbol
+        bits: List[int] = []
+        erased_bits: List[bool] = []
+        for slot_index, is_white in enumerate(layout):
+            value = slot_values[slot_index]
+            if is_white:
+                # Illumination slot: discard whatever arrived here.
+                continue
+            if value is None or value == "w":
+                # Lost, corrupted, or misclassified-as-white data slot.
+                bits.extend([0] * bits_per_symbol)
+                erased_bits.extend([True] * bits_per_symbol)
+            else:
+                label = self.packetizer.mapper.label_of_index(int(value))
+                bits.extend(int_to_bits(label, bits_per_symbol))
+                erased_bits.extend([False] * bits_per_symbol)
+
+        total_bits = codeword_bytes * 8
+        bits = bits[:total_bits] + [0] * max(0, total_bits - len(bits))
+        erased_bits = erased_bits[:total_bits] + [True] * max(
+            0, total_bits - len(erased_bits)
+        )
+        codeword = bits_to_bytes(bits)
+        erasures = sorted(
+            {
+                bit_index // 8
+                for bit_index, erased in enumerate(erased_bits)
+                if erased
+            }
+        )
+        return codeword, erasures

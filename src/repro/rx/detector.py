@@ -1,0 +1,107 @@
+"""Symbol detection: bands -> classified received symbols.
+
+Bridges segmentation and packet assembly.  Before the first calibration
+packet arrives the detector runs in *bootstrap* mode — OFF by lightness,
+WHITE by low chroma magnitude, everything else an unknown DATA color — which
+is all preamble matching needs (the calibration flag is built from OFF and
+WHITE precisely so an uncalibrated receiver can latch onto it, paper §6.2).
+Once calibrated, full constellation matching takes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.camera.frame import CapturedFrame
+from repro.csk.demodulator import (
+    CskDemodulator,
+    DecisionKind,
+    SymbolDecision,
+)
+from repro.exceptions import DemodulationError
+from repro.rx.segmentation import Band
+
+
+@dataclass(frozen=True)
+class ReceivedBand:
+    """A detected band tagged with its frame, timing and decision."""
+
+    frame_index: int
+    band: Band
+    mid_time: float
+    decision: SymbolDecision
+
+    @property
+    def lab(self) -> np.ndarray:
+        return self.band.lab
+
+    @property
+    def chroma(self) -> np.ndarray:
+        return self.band.lab[1:]
+
+    def to_char(self) -> str:
+        return self.decision.to_char()
+
+
+class SymbolDetector:
+    """Classifies segmented bands, in bootstrap or calibrated mode."""
+
+    def __init__(
+        self,
+        demodulator: CskDemodulator,
+        bootstrap_white_chroma: float = 14.0,
+    ) -> None:
+        if bootstrap_white_chroma <= 0:
+            raise DemodulationError(
+                "bootstrap_white_chroma must be positive, "
+                f"got {bootstrap_white_chroma}"
+            )
+        self.demodulator = demodulator
+        self.bootstrap_white_chroma = bootstrap_white_chroma
+
+    @property
+    def calibrated(self) -> bool:
+        return self.demodulator.calibration.is_calibrated
+
+    def _bootstrap_decision(self, lab: np.ndarray) -> SymbolDecision:
+        lightness = float(lab[0])
+        chroma_mag = float(np.hypot(lab[1], lab[2]))
+        if lightness < self.demodulator.off_lightness:
+            return SymbolDecision(DecisionKind.OFF, None, 0.0, True)
+        if chroma_mag < self.bootstrap_white_chroma:
+            return SymbolDecision(DecisionKind.WHITE, None, chroma_mag, True)
+        # Unknown color: report as unconfident DATA with no index.  The
+        # assembler ignores data payloads until calibration anyway.
+        return SymbolDecision(DecisionKind.DATA, None, chroma_mag, False)
+
+    def detect(
+        self,
+        frame: CapturedFrame,
+        bands: List[Band],
+    ) -> List[ReceivedBand]:
+        """Attach timing and symbol decisions to a frame's bands."""
+        received: List[ReceivedBand] = []
+        if self.calibrated and bands:
+            labs = np.stack([band.lab for band in bands])
+            decisions = self.demodulator.decide_stream(labs)
+        else:
+            decisions = [self._bootstrap_decision(band.lab) for band in bands]
+        for band, decision in zip(bands, decisions):
+            mid_row = band.center_row
+            mid_time = (
+                frame.start_time
+                + mid_row * frame.row_period
+                + frame.exposure.exposure_s / 2.0
+            )
+            received.append(
+                ReceivedBand(
+                    frame_index=frame.index,
+                    band=band,
+                    mid_time=mid_time,
+                    decision=decision,
+                )
+            )
+        return received

@@ -1,0 +1,84 @@
+"""Frame preprocessing: color-space conversion and dimension reduction.
+
+Paper §7 steps 1-2: convert the received frame from RGB to CIELab (removing
+the non-uniform brightness via the lightness channel) and collapse the 2-D
+frame to one mean color per scanline to keep per-frame processing cheap on a
+phone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.camera.frame import CapturedFrame
+from repro.camera.noise import dequantize_8bit
+from repro.color.cielab import xyz_to_lab
+from repro.color.srgb import srgb_to_linear
+from repro.color.srgb import linear_rgb_to_xyz
+from repro.exceptions import DemodulationError
+
+
+def frame_to_scanline_lab(
+    frame: CapturedFrame, smooth_rows: int = 3
+) -> np.ndarray:
+    """Reduce a captured frame to per-scanline CIELab colors.
+
+    Returns ``(rows, 3)`` — the mean (L, a, b) of each scanline.  Conversion
+    happens per pixel *before* averaging (as the paper's receiver does), so
+    the lightness non-uniformity is removed where it arises rather than
+    being smeared into the mean.  A short box filter (``smooth_rows``)
+    suppresses scanline-scale pipeline noise; it is narrow relative to the
+    10-row minimum band width, so band edges stay sharp enough to segment.
+    """
+    srgb = dequantize_8bit(frame.pixels)
+    linear = srgb_to_linear(srgb)
+    xyz = linear_rgb_to_xyz(linear)
+    lab = xyz_to_lab(xyz)
+    scanlines = lab.mean(axis=1)
+    if smooth_rows > 1:
+        kernel = np.ones(smooth_rows) / smooth_rows
+        scanlines = np.stack(
+            [
+                np.convolve(scanlines[:, channel], kernel, mode="same")
+                for channel in range(3)
+            ],
+            axis=1,
+        )
+    return scanlines
+
+
+def scanline_chroma(scanline_lab: np.ndarray) -> np.ndarray:
+    """Drop the lightness channel: ``(rows, 3)`` Lab -> ``(rows, 2)`` ab."""
+    scanline_lab = np.asarray(scanline_lab, dtype=float)
+    if scanline_lab.ndim != 2 or scanline_lab.shape[1] != 3:
+        raise DemodulationError(
+            f"expected (rows, 3) Lab array, got {scanline_lab.shape}"
+        )
+    return scanline_lab[:, 1:]
+
+
+def column_color_variance(
+    pixels: np.ndarray, row_slice: slice, space: str = "lab"
+) -> float:
+    """Variance of per-pixel distance from a band's mean color (Fig 8b).
+
+    Computes, for the pixels of one band (a row range), the variance of the
+    Euclidean distance from each pixel's color to the band's mean color —
+    in CIELab's ab-plane (``space='lab'``) or raw RGB (``space='rgb'``).
+    The paper uses this to show CIELab absorbs brightness non-uniformity.
+    """
+    pixels = np.asarray(pixels)
+    band = dequantize_8bit(pixels[row_slice])
+    if band.size == 0:
+        raise DemodulationError("row_slice selects an empty band")
+    if space == "rgb":
+        samples = band.reshape(-1, 3) * 255.0
+    elif space == "lab":
+        linear = srgb_to_linear(band)
+        lab = xyz_to_lab(linear_rgb_to_xyz(linear))
+        samples = lab.reshape(-1, 3)[:, 1:]
+    else:
+        raise DemodulationError(f"space must be 'rgb' or 'lab', got {space!r}")
+    mean = samples.mean(axis=0)
+    distances = np.sqrt(np.sum((samples - mean) ** 2, axis=1))
+    return float(distances.var())

@@ -1,0 +1,192 @@
+"""The complete ColorBars receiver: frames in, payload bytes out.
+
+Composes the per-frame pipeline (preprocess -> segment -> detect) with the
+cross-frame assembler, calibration handling, and Reed-Solomon decoding,
+mirroring the paper's two-threaded phone app in a single deterministic
+object.  Feed it the frames of a recording and it returns a
+:class:`ReceiverReport` with the delivered payloads and every counter the
+evaluation section needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.camera.frame import CapturedFrame
+from repro.csk.calibration import CalibrationTable
+from repro.csk.demodulator import CskDemodulator
+from repro.exceptions import UncorrectableBlockError
+from repro.fec.reed_solomon import ReedSolomonCodec
+from repro.packet.packetizer import Packetizer
+from repro.rx.assembler import PacketAssembler, ReceivedPacket
+from repro.rx.detector import ReceivedBand, SymbolDetector
+from repro.rx.preprocess import frame_to_scanline_lab
+from repro.rx.segmentation import BandSegmenter
+
+
+@dataclass
+class ReceiverReport:
+    """Everything a receiving session produced.
+
+    ``payloads`` holds the k-byte payload of every successfully decoded
+    packet, in arrival order.  The symbol/packet counters feed the SER,
+    throughput and goodput metrics of §8.
+    """
+
+    payloads: List[bytes] = field(default_factory=list)
+    packets_decoded: int = 0
+    packets_failed_fec: int = 0
+    packets_seen: int = 0
+    calibration_updates: int = 0
+    bands: List[ReceivedBand] = field(default_factory=list)
+    frames_processed: int = 0
+    symbols_detected: int = 0
+    symbols_lost_in_gaps: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(len(p) for p in self.payloads)
+
+
+class ColorBarsReceiver:
+    """Frames -> payloads, with calibration and erasure-aware FEC.
+
+    Parameters mirror the system configuration both ends share: the
+    packetizer (constellation, mapper, illumination ratio), the RS codec
+    dimensions, the symbol rate, and the sensor timing (for the band width).
+    """
+
+    def __init__(
+        self,
+        packetizer: Packetizer,
+        codec: ReedSolomonCodec,
+        symbol_rate: float,
+        rows_per_symbol: float,
+        calibration: Optional[CalibrationTable] = None,
+        off_lightness: float = 12.0,
+        boundary_delta_e: float = 9.0,
+        edge_trim_fraction: float = 0.2,
+        coring: str = "central",
+        equalize: bool = False,
+    ) -> None:
+        self.packetizer = packetizer
+        self.codec = codec
+        self.symbol_rate = float(symbol_rate)
+        self.calibration = (
+            calibration
+            if calibration is not None
+            else CalibrationTable(packetizer.mapper.constellation)
+        )
+        self.demodulator = CskDemodulator(
+            self.calibration, off_lightness=off_lightness
+        )
+        self.segmenter = BandSegmenter(
+            rows_per_symbol=rows_per_symbol,
+            boundary_delta_e=boundary_delta_e,
+            off_lightness=off_lightness,
+            edge_trim_fraction=edge_trim_fraction,
+            coring=coring,
+            allow_no_plateau=equalize,
+        )
+        self.detector = SymbolDetector(self.demodulator)
+        self.assembler = PacketAssembler(packetizer, symbol_rate)
+        #: ISI equalization: re-estimate band colors by exposure
+        #: deconvolution (repro.rx.equalizer) before classification.
+        self.equalize = equalize
+
+    # -- the full pipeline ---------------------------------------------------
+
+    def process_frames(
+        self, frames: Sequence[CapturedFrame]
+    ) -> ReceiverReport:
+        """Run the complete receive chain over a recording.
+
+        The frame sequence is processed twice when the receiver starts
+        uncalibrated: a first pass in bootstrap mode only to find calibration
+        packets (as a just-joined phone would wait for one), then the full
+        demodulation pass.  An already-calibrated receiver decodes in one
+        pass while still absorbing any new calibration packets it sees.
+        """
+        report = ReceiverReport()
+        if not frames:
+            return report
+
+        if not self.calibration.is_calibrated:
+            self._bootstrap_calibration(frames, report)
+            if not self.calibration.is_calibrated:
+                # Never saw a usable calibration packet: nothing decodable.
+                report.frames_processed = len(frames)
+                return report
+
+        per_frame_bands = [self._detect_frame(frame) for frame in frames]
+        report.frames_processed = len(frames)
+        for bands in per_frame_bands:
+            report.bands.extend(bands)
+            report.symbols_detected += len(bands)
+
+        items = self.assembler.stitch(per_frame_bands)
+        packets, calibrations = self.assembler.extract(items)
+        report.symbols_lost_in_gaps = self.assembler.stats.symbols_lost_in_gaps
+
+        for event in calibrations:
+            self.calibration.update_partial(
+                event.indices, event.symbol_chroma, event.white_chroma
+            )
+            report.calibration_updates += 1
+
+        for packet in packets:
+            report.packets_seen += 1
+            self._decode_packet(packet, report)
+        return report
+
+    # -- internals -------------------------------------------------------
+
+    def _detect_frame(self, frame: CapturedFrame) -> List[ReceivedBand]:
+        scanlines = frame_to_scanline_lab(frame)
+        # Scanlines whose exposure window straddles a symbol boundary carry
+        # mixed colors; the segmenter excludes that many rows per band.
+        smear_rows = frame.exposure.exposure_s / frame.row_period
+        bands = self.segmenter.segment(scanlines, smear_rows=smear_rows)
+        if self.equalize and bands:
+            from repro.rx.equalizer import deconvolve_frame
+
+            bands = deconvolve_frame(frame, bands, smear_rows)
+        return self.detector.detect(frame, bands)
+
+    def _bootstrap_calibration(
+        self, frames: Sequence[CapturedFrame], report: ReceiverReport
+    ) -> None:
+        """First pass: find calibration packets with the bootstrap detector."""
+        per_frame_bands = [self._detect_frame(frame) for frame in frames]
+        items = self.assembler.stitch(per_frame_bands)
+        _, calibrations = self.assembler.extract(items)
+        for event in calibrations:
+            self.calibration.update_partial(
+                event.indices, event.symbol_chroma, event.white_chroma
+            )
+            report.calibration_updates += 1
+        # Reset assembler counters: the decode pass recounts from scratch.
+        self.assembler.stats.symbols_lost_in_gaps = 0
+        self.assembler.stats.symbols_consumed = 0
+
+    def _decode_packet(
+        self, packet: ReceivedPacket, report: ReceiverReport
+    ) -> None:
+        expected_n = self.codec.n
+        if packet.header_bytes != expected_n:
+            # Header advertises a codeword the shared config does not use:
+            # treat as a corrupt header (paper: discard the packet).
+            report.packets_failed_fec += 1
+            return
+        erasures = [p for p in packet.erasure_positions if p < expected_n]
+        if len(erasures) > self.codec.num_parity:
+            report.packets_failed_fec += 1
+            return
+        try:
+            payload = self.codec.decode(packet.codeword, erasures)
+        except UncorrectableBlockError:
+            report.packets_failed_fec += 1
+            return
+        report.payloads.append(payload)
+        report.packets_decoded += 1

@@ -1,0 +1,38 @@
+"""Small validation helpers used across the library.
+
+They exist so that precondition checks read as one line at the top of a
+function and always raise :class:`~repro.exceptions.ConfigurationError` with a
+message naming the offending value.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: Any, name: str) -> None:
+    """Require a strictly positive real number."""
+    if not isinstance(value, Real) or not value > 0:
+        raise ConfigurationError(f"{name} must be a positive number, got {value!r}")
+
+
+def require_in_range(value: Any, name: str, low: float, high: float) -> None:
+    """Require ``low <= value <= high``."""
+    if not isinstance(value, Real) or not (low <= value <= high):
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+
+
+def require_probability(value: Any, name: str) -> None:
+    """Require a value usable as a probability or ratio in [0, 1]."""
+    require_in_range(value, name, 0.0, 1.0)

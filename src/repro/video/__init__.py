@@ -1,0 +1,29 @@
+"""Recording containers and video-pipeline degradations.
+
+The paper's iPhone 5S path records video and decodes *offline* (§8).  This
+package provides that workflow for the simulator:
+
+* :mod:`repro.video.recording` — a persistent container for captured frame
+  sequences (pixels + the rolling-shutter timing metadata the receiver
+  needs), saved as a single ``.npz`` file;
+* :mod:`repro.video.compression` — the chroma degradations a phone's video
+  pipeline applies before the decoder ever sees a frame (4:2:0 chroma
+  subsampling and block quantization), applicable to recordings to study
+  their effect on demodulation.
+"""
+
+from repro.video.compression import (
+    chroma_subsample_420,
+    quantize_blocks,
+    simulate_video_pipeline,
+)
+from repro.video.recording import Recording, load_recording, save_recording
+
+__all__ = [
+    "Recording",
+    "load_recording",
+    "save_recording",
+    "chroma_subsample_420",
+    "quantize_blocks",
+    "simulate_video_pipeline",
+]

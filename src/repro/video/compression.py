@@ -1,0 +1,118 @@
+"""Video-pipeline chroma degradations.
+
+The paper's offline (iPhone) path decodes from *recorded video*, which has
+been through the phone's encoder: chroma is stored at quarter resolution
+(4:2:0 subsampling) and quantized per block.  Both operations blur and
+perturb exactly the quantity ColorBars modulates — per-scanline chroma —
+so their strength directly trades against the usable symbol rate.
+
+These functions apply the degradations to captured frames (via
+:meth:`repro.video.recording.Recording.map_pixels`), letting experiments
+separate sensor effects from encoder effects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: BT.601-ish RGB <-> YCbCr matrices (full-range).
+_RGB_TO_YCBCR = np.array(
+    [
+        [0.299, 0.587, 0.114],
+        [-0.168736, -0.331264, 0.5],
+        [0.5, -0.418688, -0.081312],
+    ]
+)
+_YCBCR_TO_RGB = np.linalg.inv(_RGB_TO_YCBCR)
+
+
+def _to_ycbcr(pixels: np.ndarray) -> np.ndarray:
+    rgb = pixels.astype(float)
+    ycbcr = rgb @ _RGB_TO_YCBCR.T
+    ycbcr[..., 1:] += 128.0
+    return ycbcr
+
+
+def _to_rgb(ycbcr: np.ndarray) -> np.ndarray:
+    shifted = ycbcr.copy()
+    shifted[..., 1:] -= 128.0
+    rgb = shifted @ _YCBCR_TO_RGB.T
+    return np.clip(np.round(rgb), 0, 255).astype(np.uint8)
+
+
+def chroma_subsample_420(pixels: np.ndarray) -> np.ndarray:
+    """Apply 4:2:0 chroma subsampling to an RGB uint8 frame.
+
+    Chroma (Cb, Cr) is averaged over 2x2 blocks and replicated back —
+    halving the *vertical* chroma resolution that rolling-shutter bands
+    live in.  Luma is untouched.
+    """
+    _check_frame(pixels)
+    ycbcr = _to_ycbcr(pixels)
+    rows, cols = pixels.shape[:2]
+    even_rows, even_cols = rows - rows % 2, cols - cols % 2
+    chroma = ycbcr[:even_rows, :even_cols, 1:]
+    blocks = chroma.reshape(even_rows // 2, 2, even_cols // 2, 2, 2)
+    means = blocks.mean(axis=(1, 3), keepdims=True)
+    ycbcr[:even_rows, :even_cols, 1:] = np.broadcast_to(
+        means, blocks.shape
+    ).reshape(even_rows, even_cols, 2)
+    return _to_rgb(ycbcr)
+
+
+def quantize_blocks(
+    pixels: np.ndarray, block_rows: int = 8, chroma_step: float = 8.0
+) -> np.ndarray:
+    """Quantize chroma per horizontal block stripe.
+
+    A cheap stand-in for the encoder's per-macroblock quantization: within
+    each ``block_rows``-scanline stripe, chroma means are snapped to a
+    ``chroma_step`` grid.  Larger steps model lower bitrates.
+    """
+    _check_frame(pixels)
+    if block_rows <= 0:
+        raise ConfigurationError(f"block_rows must be positive, got {block_rows}")
+    if chroma_step <= 0:
+        raise ConfigurationError(f"chroma_step must be positive, got {chroma_step}")
+    ycbcr = _to_ycbcr(pixels)
+    rows = pixels.shape[0]
+    for start in range(0, rows, block_rows):
+        stripe = ycbcr[start : start + block_rows, :, 1:]
+        mean = stripe.mean(axis=(0, 1), keepdims=True)
+        snapped = np.round(mean / chroma_step) * chroma_step
+        ycbcr[start : start + block_rows, :, 1:] = stripe + (snapped - mean)
+    return _to_rgb(ycbcr)
+
+
+def simulate_video_pipeline(
+    pixels: np.ndarray,
+    subsample: bool = True,
+    block_rows: int = 8,
+    chroma_step: float = 6.0,
+) -> np.ndarray:
+    """The combined encoder path: 4:2:0 subsampling then block quantization.
+
+    Apply to a recording with ``recording.map_pixels(simulate_video_pipeline)``
+    (or a ``functools.partial`` for non-default strengths) to study how the
+    offline-decoding path degrades versus live sensor frames.
+    """
+    out = pixels
+    if subsample:
+        out = chroma_subsample_420(out)
+    out = quantize_blocks(out, block_rows=block_rows, chroma_step=chroma_step)
+    return out
+
+
+def _check_frame(pixels: np.ndarray) -> None:
+    if (
+        not isinstance(pixels, np.ndarray)
+        or pixels.ndim != 3
+        or pixels.shape[2] != 3
+        or pixels.dtype != np.uint8
+    ):
+        raise ConfigurationError(
+            "expected a (rows, cols, 3) uint8 frame, got "
+            f"{getattr(pixels, 'shape', None)} {getattr(pixels, 'dtype', None)}"
+        )

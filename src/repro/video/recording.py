@@ -1,0 +1,134 @@
+"""Persistent recording container for captured frame sequences.
+
+The receiver needs more than pixels: each frame's start time, row period,
+and exposure settings drive the gap accounting and band timing (paper §5).
+:class:`Recording` bundles a frame sequence with that metadata and
+round-trips through a single ``.npz`` file, enabling the paper's offline
+workflow — record on one machine or session, decode on another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.camera.auto_exposure import ExposureSettings
+from repro.camera.frame import CapturedFrame
+from repro.exceptions import ConfigurationError
+
+#: Container format version, stored in the file for forward compatibility.
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Recording:
+    """A captured video clip: frames plus their rolling-shutter metadata."""
+
+    frames: List[CapturedFrame]
+    device_name: str = "unknown"
+    symbol_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.frames:
+            raise ConfigurationError("a recording needs at least one frame")
+        shapes = {frame.pixels.shape for frame in self.frames}
+        if len(shapes) != 1:
+            raise ConfigurationError(
+                f"all frames must share one shape, got {sorted(shapes)}"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time from first frame start to the end of the last period."""
+        first = self.frames[0].start_time
+        last = self.frames[-1].start_time
+        if len(self.frames) > 1:
+            period = (last - first) / (len(self.frames) - 1)
+        else:
+            period = self.frames[0].readout_duration
+        return last - first + period
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.frames)
+
+    def map_pixels(self, transform) -> "Recording":
+        """A new recording with ``transform`` applied to every frame's pixels.
+
+        ``transform`` receives and returns a ``(rows, cols, 3)`` uint8 array;
+        timing metadata is preserved.  Used to apply video-pipeline
+        degradations to a clean capture.
+        """
+        frames = [
+            CapturedFrame(
+                index=frame.index,
+                pixels=transform(frame.pixels),
+                start_time=frame.start_time,
+                row_period=frame.row_period,
+                exposure=frame.exposure,
+            )
+            for frame in self.frames
+        ]
+        return Recording(
+            frames=frames,
+            device_name=self.device_name,
+            symbol_rate=self.symbol_rate,
+        )
+
+
+def save_recording(recording: Recording, path: Union[str, Path]) -> Path:
+    """Serialize a recording to one compressed ``.npz`` file."""
+    path = Path(path)
+    pixels = np.stack([frame.pixels for frame in recording.frames])
+    np.savez_compressed(
+        path,
+        version=np.array([FORMAT_VERSION]),
+        pixels=pixels,
+        indices=np.array([f.index for f in recording.frames]),
+        start_times=np.array([f.start_time for f in recording.frames]),
+        row_periods=np.array([f.row_period for f in recording.frames]),
+        exposures=np.array([f.exposure.exposure_s for f in recording.frames]),
+        isos=np.array([f.exposure.iso for f in recording.frames]),
+        device_name=np.array([recording.device_name]),
+        symbol_rate=np.array([recording.symbol_rate]),
+    )
+    # np.savez appends .npz when missing; normalize the reported path.
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_recording(path: Union[str, Path]) -> Recording:
+    """Load a recording saved by :func:`save_recording`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"recording file not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"recording format version {version} not supported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        pixels = data["pixels"]
+        frames = [
+            CapturedFrame(
+                index=int(data["indices"][i]),
+                pixels=pixels[i],
+                start_time=float(data["start_times"][i]),
+                row_period=float(data["row_periods"][i]),
+                exposure=ExposureSettings(
+                    exposure_s=float(data["exposures"][i]),
+                    iso=float(data["isos"][i]),
+                ),
+            )
+            for i in range(pixels.shape[0])
+        ]
+        return Recording(
+            frames=frames,
+            device_name=str(data["device_name"][0]),
+            symbol_rate=float(data["symbol_rate"][0]),
+        )

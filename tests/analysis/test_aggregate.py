@@ -1,0 +1,106 @@
+"""Tests for multi-seed aggregation and metric summaries."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import (
+    MetricSummary,
+    repeat_link_runs,
+    summarize,
+)
+from repro.core.config import SystemConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize("ser", [0.1, 0.2, 0.3], confidence=0.95)
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.std == pytest.approx(0.1)
+        assert summary.samples == 3
+        assert summary.low < summary.mean < summary.high
+
+    def test_single_sample_zero_width(self):
+        summary = summarize("x", [5.0])
+        assert summary.std == 0.0
+        assert summary.low == summary.high == 5.0
+
+    def test_interval_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        few = summarize("x", rng.normal(0, 1, 5))
+        many = summarize("x", rng.normal(0, 1, 80))
+        assert (many.high - many.low) < (few.high - few.low)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ConfigurationError):
+            summarize("x", [1.0], confidence=0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize("x", [])
+
+    def test_str_rendering(self):
+        text = str(summarize("goodput_bps", [100.0, 120.0]))
+        assert "goodput_bps" in text and "n=2" in text
+
+
+class TestRepeatLinkRuns:
+    @pytest.fixture
+    def config(self):
+        return SystemConfig(
+            csk_order=8, symbol_rate=1000, design_loss_ratio=0.25,
+            illumination_ratio=0.8,
+        )
+
+    def test_runs_collected(self, config, tiny_device):
+        result = repeat_link_runs(
+            config, tiny_device, repeats=3, duration_s=1.0,
+            simulated_columns=16,
+        )
+        assert len(result.runs) == 3
+        assert result.device_name == "tiny"
+
+    def test_summaries_cover_paper_metrics(self, config, tiny_device):
+        result = repeat_link_runs(
+            config, tiny_device, repeats=2, duration_s=1.0,
+            simulated_columns=16,
+        )
+        summaries = result.summaries()
+        assert set(summaries) == {
+            "ser", "throughput_bps", "goodput_bps", "loss_ratio",
+        }
+        assert summaries["loss_ratio"].mean == pytest.approx(0.25, abs=0.07)
+
+    def test_seeds_vary_runs(self, config, tiny_device):
+        result = repeat_link_runs(
+            config, tiny_device, repeats=3, duration_s=1.0,
+            simulated_columns=16,
+        )
+        throughputs = result.metric_values(lambda m: m.throughput_bps)
+        assert len(set(throughputs)) > 1  # independent draws differ
+
+    def test_reproducible_given_base_seed(self, config, tiny_device):
+        a = repeat_link_runs(
+            config, tiny_device, repeats=2, duration_s=1.0,
+            simulated_columns=16, base_seed=7,
+        )
+        b = repeat_link_runs(
+            config, tiny_device, repeats=2, duration_s=1.0,
+            simulated_columns=16, base_seed=7,
+        )
+        assert a.metric_values(lambda m: m.throughput_bps) == b.metric_values(
+            lambda m: m.throughput_bps
+        )
+
+    def test_invalid_repeats(self, config, tiny_device):
+        with pytest.raises(ConfigurationError):
+            repeat_link_runs(config, tiny_device, repeats=0)
+
+    def test_report_lines(self, config, tiny_device):
+        result = repeat_link_runs(
+            config, tiny_device, repeats=2, duration_s=1.0,
+            simulated_columns=16,
+        )
+        lines = result.report_lines()
+        assert "tiny" in lines[0]
+        assert len(lines) == 5

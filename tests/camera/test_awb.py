@@ -1,0 +1,62 @@
+"""Focused tests for the auto-white-balance stage."""
+
+import numpy as np
+import pytest
+
+from repro.camera.sensor import RollingShutterCamera
+from repro.phy.symbols import data_symbol, off_symbol, white_symbol
+from repro.phy.waveform import EXTEND_CYCLE
+
+
+@pytest.fixture
+def camera(tiny_device):
+    return tiny_device.make_camera(simulated_columns=16, seed=0)
+
+
+class TestAwbBehaviour:
+    def test_gains_start_neutral(self, camera):
+        assert np.allclose(camera._awb_gains, 1.0)
+
+    def test_gains_adapt_toward_neutral_white(self, camera, modulator8):
+        waveform = modulator8.waveform(
+            [white_symbol()] * 300, extend=EXTEND_CYCLE
+        )
+        camera.record(waveform, duration=0.5)
+        # After adaptation, applying the gains to the device-rendered white
+        # yields near-equal channels.
+        assert not np.allclose(camera._awb_gains, 1.0)
+        assert camera._awb_gains.min() > 0.25
+        assert camera._awb_gains.max() < 4.0
+
+    def test_dark_frames_leave_gains_unchanged(self, camera, modulator8):
+        waveform = modulator8.waveform([off_symbol()] * 100, extend=EXTEND_CYCLE)
+        camera.capture_frame(waveform, 0.0)
+        assert np.allclose(camera._awb_gains, 1.0)
+
+    def test_slow_adaptation(self, tiny_device, modulator8):
+        """One frame of saturated color must not yank the balance."""
+        camera = tiny_device.make_camera(simulated_columns=16, seed=1)
+        white_wf = modulator8.waveform([white_symbol()] * 300, extend=EXTEND_CYCLE)
+        camera.record(white_wf, duration=0.5)
+        settled = camera._awb_gains.copy()
+        red_wf = modulator8.waveform([data_symbol(5)] * 300, extend=EXTEND_CYCLE)
+        camera.capture_frame(red_wf, 1.0)
+        moved = np.abs(camera._awb_gains - settled).max()
+        assert moved < 0.35 * np.abs(settled).max()
+
+    def test_disable_flag(self, tiny_device, modulator8):
+        camera = tiny_device.make_camera(simulated_columns=16, seed=2)
+        camera.enable_awb = False
+        waveform = modulator8.waveform([white_symbol()] * 200, extend=EXTEND_CYCLE)
+        camera.record(waveform, duration=0.3)
+        assert np.allclose(camera._awb_gains, 1.0)
+
+    def test_invalid_adapt_rate(self, tiny_device):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            RollingShutterCamera(
+                timing=tiny_device.timing,
+                response=tiny_device.response,
+                awb_adapt_rate=0.0,
+            )

@@ -1,0 +1,72 @@
+"""Unit tests for the device presets."""
+
+import pytest
+
+from repro.camera.devices import (
+    IPHONE5S_LOSS_RATIO,
+    NEXUS5_LOSS_RATIO,
+    generic_device,
+    iphone_5s,
+    nexus_5,
+)
+
+
+class TestPresets:
+    def test_table1_loss_ratios(self):
+        """The inter-frame loss ratios of Table 1 are baked into the timing."""
+        assert nexus_5().timing.gap_fraction == pytest.approx(0.2312)
+        assert iphone_5s().timing.gap_fraction == pytest.approx(0.3727)
+
+    def test_paper_resolutions(self):
+        nexus = nexus_5().timing
+        assert (nexus.cols, nexus.rows) == (2448, 3264)
+        iphone = iphone_5s().timing
+        assert (iphone.cols, iphone.rows) == (1080, 1920)
+
+    def test_both_30fps(self):
+        assert nexus_5().timing.frame_rate == 30.0
+        assert iphone_5s().timing.frame_rate == 30.0
+
+    def test_iphone_higher_fidelity(self):
+        assert iphone_5s().response.fidelity > nexus_5().response.fidelity
+
+    def test_iphone_cleaner_sensor(self):
+        assert iphone_5s().noise.row_noise < nexus_5().noise.row_noise
+
+    def test_symbols_received_per_second(self):
+        """Table 1's received-symbols row: (1 - l) * S."""
+        for rate, expected in ((1000, 772.84), (4000, 3060.67)):
+            modeled = (1 - NEXUS5_LOSS_RATIO) * rate
+            assert modeled == pytest.approx(expected, rel=0.01)
+        # The iPhone's per-rate measurements scatter more around the mean
+        # loss ratio (Table 1 row values vary by a few percent).
+        for rate, expected in ((1000, 640.55), (4000, 2431.01)):
+            modeled = (1 - IPHONE5S_LOSS_RATIO) * rate
+            assert modeled == pytest.approx(expected, rel=0.04)
+
+    def test_make_camera(self):
+        camera = nexus_5().make_camera(simulated_columns=8, seed=0)
+        assert camera.simulated_columns == 8
+
+    def test_band_width_limits(self):
+        """Paper §4: the 10-pixel band minimum bounds the symbol rate."""
+        nexus = nexus_5().timing
+        # Nexus 5 at 4 kHz still has >10-row bands; beyond ~12.7 kHz it fails.
+        assert nexus.rows_per_symbol(4000) > 10
+        assert nexus.rows_per_symbol(13000) < 10
+
+
+class TestGenericDevice:
+    def test_parameterized(self):
+        device = generic_device(loss_ratio=0.3, rows=1000, cols=800)
+        assert device.timing.gap_fraction == 0.3
+        assert device.timing.rows == 1000
+
+    def test_seeded_variation(self):
+        a = generic_device(seed=1)
+        b = generic_device(seed=2)
+        import numpy as np
+
+        assert not np.allclose(
+            a.response.effective_matrix, b.response.effective_matrix
+        )

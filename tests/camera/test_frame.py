@@ -1,0 +1,63 @@
+"""Unit tests for the captured-frame container."""
+
+import numpy as np
+import pytest
+
+from repro.camera.auto_exposure import ExposureSettings
+from repro.camera.frame import CapturedFrame
+from repro.exceptions import CameraError
+
+
+@pytest.fixture
+def frame():
+    return CapturedFrame(
+        index=0,
+        pixels=np.zeros((100, 20, 3), dtype=np.uint8),
+        start_time=1.0,
+        row_period=1e-5,
+        exposure=ExposureSettings(exposure_s=1e-4, iso=100),
+    )
+
+
+class TestValidation:
+    def test_bad_shape(self):
+        with pytest.raises(CameraError):
+            CapturedFrame(0, np.zeros((10, 10), dtype=np.uint8), 0.0, 1e-5,
+                          ExposureSettings(1e-4, 100))
+
+    def test_bad_dtype(self):
+        with pytest.raises(CameraError):
+            CapturedFrame(0, np.zeros((10, 10, 3)), 0.0, 1e-5,
+                          ExposureSettings(1e-4, 100))
+
+    def test_bad_row_period(self):
+        with pytest.raises(CameraError):
+            CapturedFrame(0, np.zeros((10, 10, 3), dtype=np.uint8), 0.0, 0.0,
+                          ExposureSettings(1e-4, 100))
+
+
+class TestTiming:
+    def test_dimensions(self, frame):
+        assert frame.rows == 100
+        assert frame.cols == 20
+
+    def test_readout_duration(self, frame):
+        assert frame.readout_duration == pytest.approx(100 * 1e-5)
+
+    def test_row_exposure_window(self, frame):
+        start, stop = frame.row_exposure_window(10)
+        assert start == pytest.approx(1.0 + 10 * 1e-5)
+        assert stop - start == pytest.approx(1e-4)
+
+    def test_row_out_of_range(self, frame):
+        with pytest.raises(CameraError):
+            frame.row_exposure_window(100)
+
+    def test_row_mid_times_monotone(self, frame):
+        mids = frame.row_mid_times()
+        assert len(mids) == 100
+        assert np.all(np.diff(mids) > 0)
+
+    def test_time_to_row_inverse(self, frame):
+        mids = frame.row_mid_times()
+        assert frame.time_to_row(mids[42]) == 42

@@ -1,0 +1,101 @@
+"""Unit and property tests for CIELab and the ΔE metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.color.cielab import (
+    JND_DELTA_E,
+    delta_e_ab,
+    delta_e_cie76,
+    delta_e_cie94,
+    delta_e_ciede2000,
+    lab_to_xyz,
+    xyz_to_lab,
+)
+from repro.color.illuminants import ILLUMINANT_D65, ILLUMINANT_E
+
+
+class TestLabConversion:
+    def test_white_point_maps_to_L100(self):
+        lab = xyz_to_lab(ILLUMINANT_D65.XYZ)
+        assert lab[0] == pytest.approx(100.0, abs=1e-6)
+        assert np.allclose(lab[1:], [0.0, 0.0], atol=1e-6)
+
+    def test_black_is_zero(self):
+        lab = xyz_to_lab(np.zeros(3))
+        assert lab[0] == pytest.approx(0.0)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        xyz = rng.random((200, 3)) * 0.9 + 0.02
+        assert np.allclose(lab_to_xyz(xyz_to_lab(xyz)), xyz, atol=1e-10)
+
+    def test_alternate_white_point(self):
+        lab = xyz_to_lab(ILLUMINANT_E.XYZ, white=ILLUMINANT_E)
+        assert np.allclose(lab, [100.0, 0.0, 0.0], atol=1e-6)
+
+    def test_vectorized_shape(self):
+        xyz = np.random.default_rng(1).random((4, 5, 3)) + 0.05
+        assert xyz_to_lab(xyz).shape == (4, 5, 3)
+
+    def test_lightness_monotone_in_luminance(self):
+        dark = xyz_to_lab(np.array([0.1, 0.1, 0.1]))
+        bright = xyz_to_lab(np.array([0.6, 0.6, 0.6]))
+        assert bright[0] > dark[0]
+
+
+class TestDeltaE:
+    def test_jnd_constant_matches_paper(self):
+        assert JND_DELTA_E == pytest.approx(2.3)
+
+    def test_identity_is_zero(self):
+        lab = np.array([50.0, 10.0, -10.0])
+        assert delta_e_cie76(lab, lab) == pytest.approx(0.0)
+        assert delta_e_cie94(lab, lab) == pytest.approx(0.0)
+        assert delta_e_ciede2000(lab, lab) == pytest.approx(0.0)
+
+    def test_ab_plane_ignores_lightness(self):
+        a = np.array([5.0, 4.0])
+        b = np.array([8.0, 0.0])
+        assert delta_e_ab(a, b) == pytest.approx(5.0)
+
+    def test_cie76_euclidean(self):
+        a = np.array([50.0, 0.0, 0.0])
+        b = np.array([53.0, 4.0, 0.0])
+        assert delta_e_cie76(a, b) == pytest.approx(5.0)
+
+    def test_ciede2000_known_pair(self):
+        # A published test pair from Sharma et al.'s CIEDE2000 dataset.
+        lab1 = np.array([50.0, 2.6772, -79.7751])
+        lab2 = np.array([50.0, 0.0, -82.7485])
+        assert delta_e_ciede2000(lab1, lab2) == pytest.approx(2.0425, abs=1e-3)
+
+    def test_ciede2000_symmetric(self):
+        rng = np.random.default_rng(3)
+        lab1 = rng.random(3) * np.array([100, 120, 120]) - np.array([0, 60, 60])
+        lab2 = rng.random(3) * np.array([100, 120, 120]) - np.array([0, 60, 60])
+        assert delta_e_ciede2000(lab1, lab2) == pytest.approx(
+            delta_e_ciede2000(lab2, lab1)
+        )
+
+    @given(
+        st.floats(min_value=-60, max_value=60),
+        st.floats(min_value=-60, max_value=60),
+        st.floats(min_value=-60, max_value=60),
+        st.floats(min_value=-60, max_value=60),
+    )
+    def test_ab_metric_properties(self, a1, b1, a2, b2):
+        p = np.array([a1, b1])
+        q = np.array([a2, b2])
+        d = delta_e_ab(p, q)
+        assert d >= 0
+        assert d == pytest.approx(delta_e_ab(q, p))
+
+    def test_triangle_inequality_cie76(self):
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            a, b, c = rng.random((3, 3)) * 100
+            assert delta_e_cie76(a, c) <= (
+                delta_e_cie76(a, b) + delta_e_cie76(b, c) + 1e-9
+            )

@@ -1,0 +1,66 @@
+"""Unit and property tests for CIE XYZ / xyY conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.color.ciexyz import XYZ_to_xy, XYZ_to_xyY, xy_to_XYZ, xyY_to_XYZ
+from repro.exceptions import ColorSpaceError
+
+
+class TestXYZToXyY:
+    def test_equal_energy_chromaticity(self):
+        xyy = XYZ_to_xyY(np.array([1.0, 1.0, 1.0]))
+        assert np.allclose(xyy[:2], [1 / 3, 1 / 3])
+        assert xyy[2] == pytest.approx(1.0)
+
+    def test_black_maps_to_origin(self):
+        assert np.allclose(XYZ_to_xyY(np.zeros(3)), [0.0, 0.0, 0.0])
+
+    def test_vectorized_shape(self):
+        xyz = np.random.default_rng(0).random((5, 4, 3)) + 0.1
+        assert XYZ_to_xyY(xyz).shape == (5, 4, 3)
+
+    def test_luminance_preserved(self):
+        xyz = np.array([0.3, 0.7, 0.2])
+        assert XYZ_to_xyY(xyz)[2] == pytest.approx(0.7)
+
+
+class TestXyYToXYZ:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        xyz = rng.random((50, 3)) * 0.9 + 0.05
+        recovered = xyY_to_XYZ(XYZ_to_xyY(xyz))
+        assert np.allclose(recovered, xyz, atol=1e-12)
+
+    def test_invalid_zero_y_with_luminance(self):
+        with pytest.raises(ColorSpaceError):
+            xyY_to_XYZ(np.array([0.3, 0.0, 1.0]))
+
+    def test_zero_luminance_allowed(self):
+        assert np.allclose(xyY_to_XYZ(np.array([0.0, 0.0, 0.0])), np.zeros(3))
+
+
+class TestXyHelpers:
+    def test_xy_to_xyz_default_luminance(self):
+        xyz = xy_to_XYZ(np.array([1 / 3, 1 / 3]))
+        assert np.allclose(xyz, [1.0, 1.0, 1.0])
+
+    def test_xy_to_xyz_scaled(self):
+        xyz = xy_to_XYZ(np.array([1 / 3, 1 / 3]), Y=60.0)
+        assert np.allclose(xyz, [60.0, 60.0, 60.0])
+
+    def test_xy_projection(self):
+        xy = XYZ_to_xy(np.array([2.0, 2.0, 2.0]))
+        assert np.allclose(xy, [1 / 3, 1 / 3])
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.7),
+        st.floats(min_value=0.05, max_value=0.7),
+        st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_chromaticity_roundtrip_property(self, x, y, Y):
+        xyz = xy_to_XYZ(np.array([x, y]), Y=Y)
+        xy = XYZ_to_xy(xyz)
+        assert np.allclose(xy, [x, y], atol=1e-9)
+        assert xyz[1] == pytest.approx(Y)

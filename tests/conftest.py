@@ -1,0 +1,73 @@
+"""Shared fixtures: emitters, constellations, and a small fast camera."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.camera.color_filter import perturbed_response
+from repro.camera.devices import DeviceProfile
+from repro.camera.noise import SensorNoise
+from repro.camera.optics import Optics
+from repro.camera.sensor import SensorTiming
+from repro.csk.constellation import design_constellation
+from repro.csk.mapping import SymbolMapper
+from repro.csk.modulator import CskModulator
+from repro.phy.led import typical_tri_led
+
+
+@pytest.fixture
+def led():
+    return typical_tri_led()
+
+
+@pytest.fixture
+def gamut(led):
+    return led.gamut
+
+
+@pytest.fixture(params=[4, 8, 16, 32])
+def any_order(request):
+    return request.param
+
+
+@pytest.fixture
+def constellation8(gamut):
+    return design_constellation(8, gamut)
+
+
+@pytest.fixture
+def mapper8(constellation8):
+    return SymbolMapper(constellation8)
+
+
+@pytest.fixture
+def modulator8(constellation8, led):
+    return CskModulator(constellation8, led, symbol_rate=1000.0)
+
+
+@pytest.fixture
+def tiny_device():
+    """A small, fast camera profile for pipeline tests.
+
+    400 rows at 30 fps with a 25% gap gives 16 rows per symbol at 1 kHz —
+    above the 10-row minimum, and frames render in ~1 ms.
+    """
+    return DeviceProfile(
+        name="tiny",
+        timing=SensorTiming(rows=400, cols=64, frame_rate=30.0, gap_fraction=0.25),
+        response=perturbed_response(
+            name="tiny CFA",
+            crosstalk=0.08,
+            hue_skew=0.1,
+            white_balance_error=0.02,
+            fidelity=0.5,
+        ),
+        noise=SensorNoise(row_noise=0.02),
+        optics=Optics(ambient_luminance=0.2),
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.device == "nexus5"
+        assert args.order == 8
+
+    def test_sweep_list_args(self):
+        args = build_parser().parse_args(
+            ["sweep", "--orders", "4,8", "--rates", "1000"]
+        )
+        assert args.orders == "4,8"
+
+    def test_unknown_device_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["info", "--device", "pixel9"])
+
+
+class TestInfo:
+    def test_info_prints_parameters(self, capsys):
+        code = main(["info", "--order", "16", "--rate", "3000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RS(" in out
+        assert "rows per symbol" in out
+        assert "16-CSK" in out
+
+    def test_info_respects_device(self, capsys):
+        main(["info", "--device", "iphone5s"])
+        assert "iPhone 5S" in capsys.readouterr().out
+
+
+class TestSweepGuard:
+    def test_sweep_marks_infeasible_rates(self, capsys):
+        # 13 kHz exceeds the Nexus 5's 10-row band limit: reported, not run.
+        code = main(
+            [
+                "sweep",
+                "--orders", "4",
+                "--rates", "13000",
+                "--duration", "0.2",
+            ]
+        )
+        assert code == 0
+        assert "band < 10 px" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""Unit tests for the shared system configuration."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = SystemConfig()
+        assert config.csk_order == 8
+        assert config.bits_per_symbol == 3
+
+    def test_invalid_order(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(csk_order=6)
+
+    def test_invalid_loss_ratio(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(design_loss_ratio=0.6)
+
+    def test_symbol_rate_beyond_pwm(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(symbol_rate=5000)
+
+    def test_invalid_illumination_ratio(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(illumination_ratio=0.0)
+
+
+class TestDerived:
+    def test_flicker_driven_eta_decreases_whites_with_rate(self):
+        slow = SystemConfig(symbol_rate=1000)
+        fast = SystemConfig(symbol_rate=4000)
+        assert fast.effective_illumination_ratio() > slow.effective_illumination_ratio()
+
+    def test_explicit_eta_respected(self):
+        config = SystemConfig(illumination_ratio=0.75)
+        assert config.effective_illumination_ratio() == 0.75
+
+    def test_rs_params_match_loss(self):
+        config = SystemConfig(
+            csk_order=8, symbol_rate=3000, design_loss_ratio=0.25,
+            illumination_ratio=0.8,
+        )
+        params = config.rs_params()
+        assert params.k < params.n <= 255
+        assert params.code_rate < 1.0
+
+    def test_higher_loss_more_parity(self):
+        low = SystemConfig(design_loss_ratio=0.1, illumination_ratio=0.8)
+        high = SystemConfig(design_loss_ratio=0.4, illumination_ratio=0.8)
+        assert high.rs_params().code_rate < low.rs_params().code_rate
+
+    def test_factories_consistent(self):
+        config = SystemConfig(csk_order=16)
+        assert config.make_mapper().bits_per_symbol == 4
+        packetizer = config.make_packetizer()
+        assert packetizer.bits_per_symbol == 4
+        codec = config.make_codec()
+        assert codec.n == config.rs_params().n
+
+    def test_describe_mentions_parameters(self):
+        text = SystemConfig(csk_order=16, symbol_rate=3000).describe()
+        assert "16-CSK" in text and "3000" in text

@@ -1,0 +1,122 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    GroundTruthMatch,
+    align_ground_truth,
+    compute_link_metrics,
+    data_symbol_error_rate,
+    symbol_error_rate,
+)
+from repro.csk.demodulator import DecisionKind, SymbolDecision
+from repro.phy.symbols import data_symbol, off_symbol, white_symbol
+from repro.phy.waveform import EXTEND_CYCLE, OpticalWaveform
+from repro.rx.detector import ReceivedBand
+from repro.rx.receiver import ReceiverReport
+from repro.rx.segmentation import Band
+
+
+def make_band(kind, index=None, mid_time=0.0005, frame=0):
+    decision = SymbolDecision(kind, index, 0.5, True)
+    return ReceivedBand(
+        frame_index=frame,
+        band=Band(0, 20, 5, 15, np.array([70.0, 0.0, 0.0])),
+        mid_time=mid_time,
+        decision=decision,
+    )
+
+
+@pytest.fixture
+def stream_and_waveform(modulator8):
+    symbols = [data_symbol(1), white_symbol(), off_symbol(), data_symbol(4)]
+    waveform = modulator8.waveform(symbols, extend=EXTEND_CYCLE)
+    return symbols, waveform
+
+
+class TestAlignment:
+    def test_bands_paired_by_time(self, stream_and_waveform):
+        symbols, waveform = stream_and_waveform
+        period = waveform.symbol_period
+        bands = [
+            make_band(DecisionKind.DATA, 1, mid_time=0 * period + period / 2),
+            make_band(DecisionKind.WHITE, None, mid_time=1 * period + period / 2),
+        ]
+        matches = align_ground_truth(bands, symbols, waveform)
+        assert len(matches) == 2
+        assert matches[0].truth.index == 1
+        assert matches[0].correct
+        assert matches[1].correct
+
+    def test_cyclic_wraparound(self, stream_and_waveform):
+        symbols, waveform = stream_and_waveform
+        period = waveform.symbol_period
+        # 4 symbols -> time 4.5 periods wraps to symbol 0.
+        band = make_band(DecisionKind.DATA, 1, mid_time=4.5 * period)
+        matches = align_ground_truth([band], symbols, waveform)
+        assert matches[0].truth.index == 1
+
+
+class TestCorrectness:
+    def test_kind_mismatch_incorrect(self, stream_and_waveform):
+        symbols, waveform = stream_and_waveform
+        period = waveform.symbol_period
+        band = make_band(DecisionKind.WHITE, None, mid_time=period / 2)  # truth: data
+        matches = align_ground_truth([band], symbols, waveform)
+        assert not matches[0].correct
+
+    def test_index_mismatch_incorrect(self, stream_and_waveform):
+        symbols, waveform = stream_and_waveform
+        band = make_band(DecisionKind.DATA, 2, mid_time=waveform.symbol_period / 2)
+        matches = align_ground_truth([band], symbols, waveform)
+        assert not matches[0].correct
+
+
+class TestRates:
+    def test_empty_is_zero(self):
+        assert symbol_error_rate([]) == 0.0
+        assert data_symbol_error_rate([]) == 0.0
+
+    def test_ser_fraction(self, stream_and_waveform):
+        symbols, waveform = stream_and_waveform
+        period = waveform.symbol_period
+        bands = [
+            make_band(DecisionKind.DATA, 1, mid_time=period / 2),     # correct
+            make_band(DecisionKind.DATA, 0, mid_time=1.5 * period),   # wrong (white)
+            make_band(DecisionKind.OFF, None, mid_time=2.5 * period), # correct
+            make_band(DecisionKind.DATA, 2, mid_time=3.5 * period),   # wrong (4)
+        ]
+        matches = align_ground_truth(bands, symbols, waveform)
+        assert symbol_error_rate(matches) == pytest.approx(0.5)
+        # DATA truths are positions 0 and 3: one of two wrong.
+        assert data_symbol_error_rate(matches) == pytest.approx(0.5)
+
+
+class TestLinkMetrics:
+    def test_throughput_and_goodput(self):
+        report = ReceiverReport()
+        report.bands = [make_band(DecisionKind.DATA, 0)] * 100
+        report.symbols_detected = 100
+        report.symbols_lost_in_gaps = 25
+        report.packets_decoded = 4
+        report.packets_seen = 5
+        metrics = compute_link_metrics(
+            report=report,
+            matches=[],
+            bits_per_symbol=3,
+            payload_bytes_per_packet=10,
+            duration_s=2.0,
+        )
+        assert metrics.throughput_bps == pytest.approx(150.0)
+        assert metrics.goodput_bps == pytest.approx(160.0)
+        assert metrics.inter_frame_loss_ratio == pytest.approx(0.2)
+
+    def test_summary_readable(self):
+        report = ReceiverReport()
+        metrics = compute_link_metrics(report, [], 3, 10, 1.0)
+        assert "SER" in metrics.summary()
+
+    def test_invalid_duration(self):
+        with pytest.raises(Exception):
+            compute_link_metrics(ReceiverReport(), [], 3, 10, 0.0)

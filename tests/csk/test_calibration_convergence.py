@@ -1,0 +1,108 @@
+"""Convergence behavior of the calibration table.
+
+Covers the running-mean-then-EWMA update schedule, affine extrapolation
+accuracy under noise, and the interaction of partial updates — properties
+added for low-symbol-rate operation where calibration packets never fit in
+one frame.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.csk.calibration import CalibrationTable
+from repro.csk.constellation import design_constellation
+from repro.phy.led import typical_tri_led
+
+
+@pytest.fixture
+def constellation16():
+    return design_constellation(16, typical_tri_led().gamut)
+
+
+def affine_chroma(constellation, matrix=None, offset=None):
+    xy = constellation.as_array()
+    if matrix is None:
+        matrix = np.array([[310.0, -40.0], [25.0, 280.0]])
+    if offset is None:
+        offset = np.array([-105.0, -95.0])
+    return xy @ matrix.T + offset
+
+
+class TestRunningMeanConvergence:
+    def test_noise_averages_out(self, constellation16):
+        """Repeated noisy observations converge toward the clean truth
+        faster than a pure EWMA would."""
+        truth = affine_chroma(constellation16)
+        rng = np.random.default_rng(0)
+        table = CalibrationTable(constellation16, smoothing=0.35)
+        for _ in range(6):
+            table.update(truth + rng.normal(0, 3.0, truth.shape))
+        error = np.abs(table.references - truth).mean()
+        # Running-mean over 6 samples: sigma/sqrt(6) ~ 1.2; allow margin.
+        assert error < 1.8
+
+    def test_observation_counts_tracked(self, constellation16):
+        table = CalibrationTable(constellation16)
+        chroma = affine_chroma(constellation16)
+        table.update_partial([0, 1], chroma[:2])
+        table.update_partial([1, 2], chroma[1:3])
+        assert table.seen_count == 3
+
+    def test_ewma_still_tracks_drift(self, constellation16):
+        """After convergence, a persistent shift must be followed."""
+        truth = affine_chroma(constellation16)
+        table = CalibrationTable(constellation16, smoothing=0.35)
+        for _ in range(5):
+            table.update(truth)
+        shifted = truth + 10.0
+        for _ in range(12):
+            table.update(shifted)
+        error = np.abs(table.references - shifted).mean()
+        assert error < 1.0
+
+
+class TestAffineExtrapolation:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_extrapolation_recovers_affine_maps(self, seed):
+        """For any (reasonable) affine camera map, partial observation of
+        half the constellation predicts the rest to within noise."""
+        rng = np.random.default_rng(seed)
+        constellation = design_constellation(16, typical_tri_led().gamut)
+        matrix = np.array(
+            [[250.0, 0.0], [0.0, 250.0]]
+        ) + rng.normal(0, 30.0, (2, 2))
+        offset = rng.normal(0, 40.0, 2)
+        truth = affine_chroma(constellation, matrix, offset)
+
+        table = CalibrationTable(constellation)
+        subset = rng.choice(16, size=8, replace=False)
+        table.update_partial(sorted(int(i) for i in subset), truth[np.sort(subset)])
+        assert table.is_calibrated
+        assert np.allclose(table.references, truth, atol=1e-6)
+
+    def test_extrapolation_with_noise_stays_close(self, constellation16):
+        truth = affine_chroma(constellation16)
+        rng = np.random.default_rng(3)
+        table = CalibrationTable(constellation16)
+        subset = [0, 2, 5, 7, 9, 12]
+        table.update_partial(subset, truth[subset] + rng.normal(0, 1.0, (6, 2)))
+        assert table.is_calibrated
+        error = np.abs(table.references - truth).max()
+        assert error < 6.0
+
+    def test_too_few_points_no_extrapolation(self, constellation16):
+        table = CalibrationTable(constellation16)
+        truth = affine_chroma(constellation16)
+        table.update_partial([0, 1, 2], truth[:3])
+        assert not table.is_calibrated
+
+    def test_matching_with_extrapolated_references(self, constellation16):
+        """Demodulation must work against a partially extrapolated table."""
+        truth = affine_chroma(constellation16)
+        table = CalibrationTable(constellation16)
+        table.update_partial([0, 3, 6, 9, 12, 15], truth[[0, 3, 6, 9, 12, 15]])
+        indices, distances = table.match(truth)
+        assert np.array_equal(indices, np.arange(16))
+        assert distances.max() < 1e-6

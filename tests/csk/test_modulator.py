@@ -1,0 +1,68 @@
+"""Unit tests for the CSK modulator."""
+
+import numpy as np
+import pytest
+
+from repro.color.ciexyz import XYZ_to_xy
+from repro.csk.modulator import CskModulator
+from repro.exceptions import ConfigurationError, ModulationError
+from repro.phy.symbols import data_symbol, off_symbol, white_symbol
+from repro.phy.waveform import EXTEND_CYCLE
+
+
+class TestEmissions:
+    def test_data_symbol_chromaticity(self, modulator8, constellation8):
+        for index in range(8):
+            xyz = modulator8.symbol_xyz(data_symbol(index))
+            xy = XYZ_to_xy(xyz)
+            target = constellation8.point(index).as_array()
+            assert np.allclose(xy, target, atol=5e-3)  # PWM quantization
+
+    def test_white_symbol_at_centroid(self, modulator8, led):
+        xy = XYZ_to_xy(modulator8.symbol_xyz(white_symbol()))
+        assert np.allclose(xy, led.white_point.as_array(), atol=5e-3)
+
+    def test_off_symbol_dark(self, modulator8):
+        assert np.allclose(modulator8.symbol_xyz(off_symbol()), 0.0)
+
+    def test_constant_power(self, modulator8):
+        power = modulator8.power_sum
+        for index in range(8):
+            xyz = modulator8.symbol_xyz(data_symbol(index))
+            assert xyz.sum() == pytest.approx(power, rel=1e-2)
+
+    def test_out_of_range_index(self, modulator8):
+        with pytest.raises(ModulationError):
+            modulator8.symbol_xyz(data_symbol(8))
+
+
+class TestStreams:
+    def test_emissions_shape(self, modulator8):
+        stream = [data_symbol(0), white_symbol(), off_symbol()]
+        assert modulator8.emissions(stream).shape == (3, 3)
+
+    def test_empty_stream_rejected(self, modulator8):
+        with pytest.raises(ModulationError):
+            modulator8.emissions([])
+
+    def test_waveform_rate(self, modulator8):
+        wf = modulator8.waveform([data_symbol(1)] * 10)
+        assert wf.symbol_rate == modulator8.symbol_rate
+        assert wf.num_symbols == 10
+
+    def test_waveform_cyclic_extension(self, modulator8):
+        wf = modulator8.waveform([data_symbol(0)], extend=EXTEND_CYCLE)
+        assert wf.extend == EXTEND_CYCLE
+
+    def test_reference_emissions_complete(self, modulator8):
+        refs = modulator8.reference_emissions()
+        assert len(refs) == 8
+
+    def test_bits_per_symbol(self, modulator8):
+        assert modulator8.bits_per_symbol == 3
+
+
+class TestRateLimit:
+    def test_symbol_rate_beyond_pwm_rejected(self, constellation8, led):
+        with pytest.raises(ConfigurationError):
+            CskModulator(constellation8, led, symbol_rate=5000.0)

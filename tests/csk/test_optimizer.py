@@ -1,0 +1,100 @@
+"""Tests for the constellation optimizer (the paper's §10 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.csk.constellation import design_constellation
+from repro.csk.optimizer import (
+    identity_map,
+    optimize_constellation,
+    received_space_map,
+    separation_report,
+)
+from repro.exceptions import ConstellationError
+
+
+class TestIdentitySpace:
+    def test_never_worse_than_start(self, gamut):
+        standard = design_constellation(8, gamut)
+        optimized = optimize_constellation(
+            8, gamut, iterations=300, seed=0
+        )
+        before = separation_report(standard)["decision_min_separation"]
+        after = separation_report(optimized)["decision_min_separation"]
+        assert after >= before * 0.999
+
+    def test_white_balance_preserved(self, gamut):
+        optimized = optimize_constellation(16, gamut, iterations=300, seed=1)
+        mean = optimized.mean_chromaticity()
+        assert mean.distance_to(gamut.centroid()) < 1e-9
+
+    def test_points_stay_in_gamut(self, gamut):
+        optimized = optimize_constellation(8, gamut, iterations=300, seed=2)
+        for point in optimized.points:
+            assert gamut.contains(point, tolerance=1e-9)
+
+    def test_white_point_kept_clear(self, gamut):
+        optimized = optimize_constellation(8, gamut, iterations=300, seed=3)
+        centroid = gamut.centroid()
+        for point in optimized.points:
+            assert point.distance_to(centroid) > 0.02
+
+    def test_deterministic_given_seed(self, gamut):
+        a = optimize_constellation(8, gamut, iterations=200, seed=5)
+        b = optimize_constellation(8, gamut, iterations=200, seed=5)
+        assert np.allclose(a.as_array(), b.as_array())
+
+    def test_invalid_parameters(self, gamut):
+        with pytest.raises(ConstellationError):
+            optimize_constellation(8, gamut, iterations=0)
+        with pytest.raises(ConstellationError):
+            optimize_constellation(8, gamut, margin=0.5)
+
+
+class TestReceivedSpace:
+    def test_device_aware_optimization_improves_margin(self, gamut, led):
+        from repro.camera.devices import nexus_5
+
+        mapper = received_space_map(nexus_5().response, led)
+        standard = design_constellation(16, gamut)
+        optimized = optimize_constellation(
+            16, gamut, space_map=mapper, iterations=600, seed=7
+        )
+        before = separation_report(standard, mapper)["decision_min_separation"]
+        after = separation_report(optimized, mapper)["decision_min_separation"]
+        assert after > before * 1.05  # a real improvement, not noise
+
+    def test_map_shape(self, led):
+        from repro.camera.devices import iphone_5s
+
+        mapper = received_space_map(iphone_5s().response, led)
+        xy = led.gamut.centroid().as_array()[np.newaxis, :]
+        out = mapper(xy)
+        assert out.shape == (1, 2)
+
+
+class TestReport:
+    def test_report_fields(self, gamut):
+        report = separation_report(design_constellation(8, gamut))
+        assert report["white_balanced"]
+        assert report["transmit_min_distance"] > 0
+        assert report["decision_min_separation"] == pytest.approx(
+            report["transmit_min_distance"], rel=1e-6
+        )
+
+
+class TestConfigIntegration:
+    def test_custom_constellation_used(self, gamut):
+        from repro.core.config import SystemConfig
+
+        optimized = optimize_constellation(8, gamut, iterations=100, seed=9)
+        config = SystemConfig(csk_order=8, custom_constellation=optimized)
+        assert config.constellation is optimized
+
+    def test_order_mismatch_rejected(self, gamut):
+        from repro.core.config import SystemConfig
+        from repro.exceptions import ConfigurationError
+
+        optimized = optimize_constellation(8, gamut, iterations=50, seed=9)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(csk_order=16, custom_constellation=optimized)

@@ -1,0 +1,65 @@
+"""Unit and property tests for the block interleaver."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import FECError
+from repro.fec.interleave import BlockInterleaver
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("rows,cols", [(0, 3), (3, 0), (-1, 2)])
+    def test_invalid_dimensions(self, rows, cols):
+        with pytest.raises(FECError):
+            BlockInterleaver(rows, cols)
+
+    def test_block_size(self):
+        assert BlockInterleaver(4, 3).block_size == 12
+
+
+class TestPermutation:
+    def test_roundtrip(self):
+        interleaver = BlockInterleaver(5, 4)
+        data = bytes(range(20))
+        assert interleaver.deinterleave(interleaver.interleave(data)) == data
+
+    def test_known_small_case(self):
+        # 2x2: row-major [a b; c d] read column-wise -> a c b d.
+        interleaver = BlockInterleaver(2, 2)
+        assert interleaver.interleave(b"abcd") == b"acbd"
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(FECError):
+            BlockInterleaver(2, 2).interleave(b"abc")
+
+    @given(st.binary(min_size=12, max_size=12))
+    def test_roundtrip_property(self, data):
+        interleaver = BlockInterleaver(3, 4)
+        assert interleaver.deinterleave(interleaver.interleave(data)) == data
+
+    def test_burst_spreads_across_rows(self):
+        # A burst of `cols` consecutive interleaved positions touches
+        # every position exactly once per row group.
+        interleaver = BlockInterleaver(rows=6, cols=4)
+        burst = list(range(8))  # 8 consecutive lost symbols
+        sources = interleaver.spread_positions(burst)
+        rows_touched = {pos // interleaver.cols for pos in sources}
+        # 8 consecutive column-read positions span >= 6 distinct source rows.
+        assert len(rows_touched) >= 6
+
+
+class TestStreams:
+    def test_stream_roundtrip_with_padding(self):
+        interleaver = BlockInterleaver(4, 4)
+        data = bytes(range(20))  # not a multiple of 16
+        out = interleaver.deinterleave_stream(interleaver.interleave_stream(data))
+        assert out[:20] == data
+        assert len(out) == 32
+
+    def test_deinterleave_stream_rejects_misaligned(self):
+        with pytest.raises(FECError):
+            BlockInterleaver(4, 4).deinterleave_stream(bytes(15))
+
+    def test_spread_positions_negative(self):
+        with pytest.raises(FECError):
+            BlockInterleaver(2, 2).spread_positions([-1])

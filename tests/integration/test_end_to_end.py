@@ -1,0 +1,99 @@
+"""End-to-end integration tests: payload in, payload out through the full chain."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import align_ground_truth, data_symbol_error_rate
+from repro.core.system import ColorBarsTransmitter, make_receiver
+from repro.link.simulator import LinkSimulator
+from repro.link.workloads import beacon_payload, text_payload
+
+
+class TestFullChain:
+    def test_text_broadcast_recovered(self, tiny_device):
+        """A retail-style text payload survives the complete optical chain."""
+        config = SystemConfig(
+            csk_order=8, symbol_rate=1000, design_loss_ratio=0.25,
+            illumination_ratio=0.8,
+        )
+        payload = text_payload(2 * config.rs_params().k, seed=7)
+        result = LinkSimulator(config, tiny_device, seed=3).run(
+            payload=payload, duration_s=3.0
+        )
+        assert result.recovered_broadcast() == payload
+
+    def test_beacon_broadcast(self, tiny_device):
+        config = SystemConfig(
+            csk_order=4, symbol_rate=1000, design_loss_ratio=0.25,
+            illumination_ratio=0.8,
+        )
+        k = config.rs_params().k
+        beacon = beacon_payload(42, "maps/floor2")
+        padded = beacon + bytes(max(0, k - len(beacon)))
+        result = LinkSimulator(config, tiny_device, seed=4).run(
+            payload=padded[:k], duration_s=3.0
+        )
+        delivered = result.delivered_payload()
+        assert padded[:k] in delivered
+
+    def test_low_order_near_zero_ser(self, tiny_device):
+        """Paper: 4/8-CSK give SER below 1e-2 even through a noisy camera."""
+        for order in (4, 8):
+            config = SystemConfig(
+                csk_order=order, symbol_rate=1000, design_loss_ratio=0.25,
+                illumination_ratio=0.8,
+            )
+            result = LinkSimulator(config, tiny_device, seed=5).run(duration_s=2.0)
+            assert result.metrics.data_symbol_error_rate < 0.02
+
+    def test_erasure_recovery_in_spanning_packets(self, tiny_device):
+        """Packets straddling the inter-frame gap must still decode (§5)."""
+        config = SystemConfig(
+            csk_order=8, symbol_rate=1000, design_loss_ratio=0.25,
+            illumination_ratio=0.8,
+        )
+        result = LinkSimulator(config, tiny_device, seed=6).run(duration_s=3.0)
+        incomplete_decodes = 0
+        # Every decoded packet implies erasure decoding worked whenever the
+        # packet was cut; check we decoded more packets than frames could
+        # hold uncut packets.
+        assert result.metrics.packets_decoded >= 3
+        assert result.report.symbols_lost_in_gaps > 0
+
+    def test_calibration_absorbed_before_data(self, tiny_device):
+        config = SystemConfig(
+            csk_order=8, symbol_rate=1000, design_loss_ratio=0.25,
+            illumination_ratio=0.8,
+        )
+        transmitter = ColorBarsTransmitter(config)
+        plan = transmitter.plan(text_payload(config.rs_params().k))
+        waveform = transmitter.waveform(plan)
+        camera = tiny_device.make_camera(simulated_columns=16, seed=0)
+        frames = camera.record(waveform, duration=2.0)
+        receiver = make_receiver(config, tiny_device.timing)
+        assert not receiver.calibration.is_calibrated
+        report = receiver.process_frames(frames)
+        assert receiver.calibration.is_calibrated
+        assert report.calibration_updates > 0
+
+
+class TestGroundTruthConsistency:
+    def test_ser_measured_against_truth(self, tiny_device):
+        config = SystemConfig(
+            csk_order=8, symbol_rate=1000, design_loss_ratio=0.25,
+            illumination_ratio=0.8,
+        )
+        result = LinkSimulator(config, tiny_device, seed=8).run(duration_s=1.5)
+        # Recomputing from the stored matches must reproduce the metric.
+        assert data_symbol_error_rate(result.matches) == pytest.approx(
+            result.metrics.data_symbol_error_rate
+        )
+
+    def test_no_frames_no_output(self, tiny_device):
+        config = SystemConfig(
+            csk_order=8, symbol_rate=1000, illumination_ratio=0.8
+        )
+        receiver = make_receiver(config, tiny_device.timing)
+        report = receiver.process_frames([])
+        assert report.packets_decoded == 0
+        assert report.frames_processed == 0

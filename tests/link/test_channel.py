@@ -1,0 +1,38 @@
+"""Unit tests for channel conditions."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.link.channel import ChannelConditions
+
+
+class TestChannelConditions:
+    def test_paper_setup(self):
+        channel = ChannelConditions.paper_setup()
+        assert channel.distance_m == pytest.approx(0.03)
+
+    def test_make_optics_carries_values(self):
+        channel = ChannelConditions(
+            distance_m=0.05, ambient_luminance=2.0, vignetting_strength=0.5
+        )
+        optics = channel.make_optics()
+        assert optics.distance_m == 0.05
+        assert optics.ambient_luminance == 2.0
+        assert optics.vignetting_strength == 0.5
+
+    def test_invalid_distance(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConditions(distance_m=0)
+
+    def test_invalid_ambient(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConditions(ambient_luminance=-1)
+
+    def test_invalid_vignetting(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConditions(vignetting_strength=2.0)
+
+    def test_distance_attenuates(self):
+        near = ChannelConditions(distance_m=0.03).make_optics()
+        far = ChannelConditions(distance_m=0.12).make_optics()
+        assert far.distance_gain() < near.distance_gain()

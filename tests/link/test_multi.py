@@ -1,0 +1,57 @@
+"""Tests for multi-receiver broadcast analysis."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.link.multi import broadcast_to_fleet
+
+
+class TestFleetBroadcast:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            broadcast_to_fleet([])
+
+    def test_shared_link_provisions_worst_loss(self, tiny_device):
+        from repro.camera.devices import DeviceProfile
+        from repro.camera.sensor import SensorTiming
+
+        lossier = DeviceProfile(
+            name="lossy tiny",
+            timing=SensorTiming(
+                rows=400, cols=64, frame_rate=30.0, gap_fraction=0.35
+            ),
+            response=tiny_device.response,
+            noise=tiny_device.noise,
+            optics=tiny_device.optics,
+        )
+        report = broadcast_to_fleet(
+            [tiny_device, lossier],
+            csk_order=8,
+            symbol_rate=1000,
+            duration_s=1.5,
+            compare_dedicated=False,
+        )
+        assert report.worst_loss_ratio == pytest.approx(0.35)
+        assert len(report.members) == 2
+        assert "loss 0.350" in report.summary_lines()[0]
+
+    def test_dedicated_comparison_runs(self, tiny_device):
+        report = broadcast_to_fleet(
+            [tiny_device],
+            csk_order=8,
+            symbol_rate=1000,
+            duration_s=1.5,
+            compare_dedicated=True,
+        )
+        member = report.members[0]
+        assert member.dedicated_metrics is not None
+        # Same loss ratio -> identical provisioning -> zero or tiny cost.
+        assert member.provisioning_cost_bps is not None
+
+    def test_summary_readable(self, tiny_device):
+        report = broadcast_to_fleet(
+            [tiny_device], csk_order=8, symbol_rate=1000,
+            duration_s=1.0, compare_dedicated=False,
+        )
+        lines = report.summary_lines()
+        assert any("tiny" in line for line in lines)

@@ -1,0 +1,74 @@
+"""Integration-grade tests for the link simulator on the fast tiny device."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.link.simulator import LinkSimulator, sweep
+from repro.link.workloads import text_payload
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(
+        csk_order=8, symbol_rate=1000, design_loss_ratio=0.25,
+        illumination_ratio=0.8,
+    )
+
+
+class TestRun:
+    def test_basic_run_delivers(self, config, tiny_device):
+        simulator = LinkSimulator(config, tiny_device, seed=0)
+        result = simulator.run(duration_s=2.0)
+        assert result.metrics.packets_decoded > 0
+        assert result.report.calibration_updates > 0
+        assert result.metrics.goodput_bps > 0
+
+    def test_loss_ratio_near_device(self, config, tiny_device):
+        simulator = LinkSimulator(config, tiny_device, seed=0)
+        result = simulator.run(duration_s=2.0)
+        assert result.metrics.inter_frame_loss_ratio == pytest.approx(
+            tiny_device.timing.gap_fraction, abs=0.06
+        )
+
+    def test_deterministic_given_seed(self, config, tiny_device):
+        a = LinkSimulator(config, tiny_device, seed=5).run(duration_s=1.0)
+        b = LinkSimulator(config, tiny_device, seed=5).run(duration_s=1.0)
+        assert a.metrics.throughput_bps == b.metrics.throughput_bps
+        assert a.report.payloads == b.report.payloads
+
+    def test_payload_content_recovered(self, config, tiny_device):
+        payload = text_payload(3 * config.rs_params().k, seed=9)
+        simulator = LinkSimulator(config, tiny_device, seed=0)
+        result = simulator.run(payload=payload, duration_s=3.0)
+        recovered = result.recovered_broadcast()
+        assert recovered == payload
+
+    def test_delivered_payload_bytes(self, config, tiny_device):
+        simulator = LinkSimulator(config, tiny_device, seed=0)
+        result = simulator.run(duration_s=1.5)
+        assert len(result.delivered_payload()) == (
+            result.metrics.packets_decoded * result.config.rs_params().k
+        )
+
+    def test_invalid_duration(self, config, tiny_device):
+        with pytest.raises(Exception):
+            LinkSimulator(config, tiny_device).run(duration_s=0)
+
+
+class TestSweep:
+    def test_sweep_skips_infeasible_rates(self, tiny_device):
+        # The tiny sensor's bands drop below 10 rows above ~1.6 kHz.
+        results = sweep(
+            tiny_device,
+            orders=(4,),
+            symbol_rates=(1000.0, 4000.0),
+            duration_s=0.5,
+        )
+        assert (4, 1000.0) in results
+        assert (4, 4000.0) not in results
+
+    def test_sweep_keys(self, tiny_device):
+        results = sweep(
+            tiny_device, orders=(4, 8), symbol_rates=(1000.0,), duration_s=0.5
+        )
+        assert set(results) == {(4, 1000.0), (8, 1000.0)}

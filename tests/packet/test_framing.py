@@ -1,0 +1,80 @@
+"""Unit tests for preamble framing."""
+
+import pytest
+
+from repro.packet.framing import (
+    CALIBRATION_FLAG,
+    DATA_FLAG,
+    DELIMITER,
+    PacketKind,
+    find_preambles,
+    flag_for,
+    preamble_symbols,
+    strip_char_stream,
+)
+
+
+class TestConstants:
+    def test_paper_sequences(self):
+        assert DELIMITER == "owo"
+        assert DATA_FLAG == "owowo"
+        assert CALIBRATION_FLAG == "owowowo"
+
+    def test_calibration_extends_data_flag(self):
+        # The longest-match-first rule in find_preambles relies on this.
+        assert CALIBRATION_FLAG.startswith(DATA_FLAG)
+
+
+class TestPreambleSymbols:
+    def test_data_preamble_length(self):
+        assert len(preamble_symbols(PacketKind.DATA)) == 8
+
+    def test_calibration_preamble_length(self):
+        assert len(preamble_symbols(PacketKind.CALIBRATION)) == 10
+
+    def test_symbols_alternate(self):
+        chars = [s.to_char() for s in preamble_symbols(PacketKind.DATA)]
+        assert "".join(chars) == DELIMITER + DATA_FLAG
+
+    def test_flag_for(self):
+        assert flag_for(PacketKind.DATA) == DATA_FLAG
+        assert flag_for(PacketKind.CALIBRATION) == CALIBRATION_FLAG
+
+
+class TestFindPreambles:
+    def test_single_data_preamble(self):
+        chars = list("12" + DELIMITER + DATA_FLAG + "3456")
+        matches = find_preambles(chars)
+        assert len(matches) == 1
+        assert matches[0].kind is PacketKind.DATA
+        assert matches[0].start == 2
+        assert matches[0].body_start == 10
+
+    def test_calibration_wins_longest_match(self):
+        chars = list(DELIMITER + CALIBRATION_FLAG + "12")
+        matches = find_preambles(chars)
+        assert len(matches) == 1
+        assert matches[0].kind is PacketKind.CALIBRATION
+
+    def test_multiple_packets(self):
+        stream = (
+            DELIMITER + CALIBRATION_FLAG + "01234567"
+            + DELIMITER + DATA_FLAG + "777"
+        )
+        matches = find_preambles(list(stream))
+        assert [m.kind for m in matches] == [
+            PacketKind.CALIBRATION,
+            PacketKind.DATA,
+        ]
+
+    def test_no_preamble_in_data(self):
+        assert find_preambles(list("0123456701234567")) == []
+
+    def test_data_symbols_break_pattern(self):
+        # 'd' characters at 'w' positions must not match.
+        chars = list("o1o" + DATA_FLAG)
+        assert find_preambles(chars) == []
+
+    def test_strip_char_stream(self):
+        symbols = preamble_symbols(PacketKind.DATA)
+        assert strip_char_stream(symbols) == list(DELIMITER + DATA_FLAG)

@@ -1,0 +1,88 @@
+"""Unit tests for the tri-LED emitter model."""
+
+import numpy as np
+import pytest
+
+from repro.color.chromaticity import ChromaticityPoint
+from repro.color.ciexyz import XYZ_to_xy
+from repro.exceptions import GamutError
+from repro.phy.led import LedPrimary, TriLedEmitter, typical_tri_led
+
+
+class TestLedPrimary:
+    def test_power_sum(self):
+        primary = LedPrimary("blue", ChromaticityPoint(0.135, 0.040), 100.0)
+        assert primary.max_power_sum == pytest.approx(2500.0)
+
+    def test_full_duty_xyz_luminance(self):
+        primary = LedPrimary("red", ChromaticityPoint(0.700, 0.300), 80.0)
+        assert primary.xyz_at_full_duty[1] == pytest.approx(80.0)
+
+    def test_rejects_zero_luminance(self):
+        with pytest.raises(Exception):
+            LedPrimary("x", ChromaticityPoint(0.3, 0.3), 0.0)
+
+    def test_rejects_zero_y(self):
+        with pytest.raises(GamutError):
+            LedPrimary("x", ChromaticityPoint(0.3, 0.0), 10.0)
+
+
+class TestEmitter:
+    def test_white_point_is_centroid(self, led):
+        white = led.white_point
+        centroid = led.gamut.centroid()
+        assert white.distance_to(centroid) < 1e-12
+
+    def test_emitted_chromaticity_matches_target(self, led):
+        target = ChromaticityPoint(0.35, 0.40)
+        xyz = led.emit_chromaticity(target, quantize=False)
+        assert np.allclose(XYZ_to_xy(xyz), target.as_array(), atol=1e-9)
+
+    def test_constant_power_across_symbols(self, led):
+        power = led.default_symbol_power()
+        for point in (led.red.chromaticity, led.green.chromaticity, led.white_point):
+            xyz = led.emit_chromaticity(point, power, quantize=False)
+            assert xyz.sum() == pytest.approx(power, rel=1e-9)
+
+    def test_vertex_uses_single_die(self, led):
+        duties = led.duties_for(led.blue.chromaticity, 50.0)
+        assert duties[0] == pytest.approx(0.0, abs=1e-12)
+        assert duties[1] == pytest.approx(0.0, abs=1e-12)
+        assert duties[2] > 0
+
+    def test_power_ceiling_enforced(self, led):
+        ceiling = led.max_power_at(led.green.chromaticity)
+        with pytest.raises(GamutError):
+            led.duties_for(led.green.chromaticity, ceiling * 1.01)
+
+    def test_out_of_gamut_rejected(self, led):
+        with pytest.raises(GamutError):
+            led.duties_for(ChromaticityPoint(0.9, 0.9), 10.0)
+
+    def test_default_power_reachable_everywhere(self, led):
+        power = led.default_symbol_power()
+        for point in led.gamut.grid_points(6):
+            duties = led.duties_for(point, power)
+            assert np.all(duties <= 1.0 + 1e-9)
+
+    def test_off_is_dark(self, led):
+        assert np.allclose(led.off_xyz(), 0.0)
+
+    def test_emitted_xyz_additive(self, led):
+        a = led.emitted_xyz([0.2, 0.0, 0.0])
+        b = led.emitted_xyz([0.0, 0.3, 0.0])
+        combined = led.emitted_xyz([0.2, 0.3, 0.0])
+        assert np.allclose(a + b, combined)
+
+    def test_quantization_changes_output_slightly(self, led):
+        target = ChromaticityPoint(0.31, 0.35)
+        exact = led.emit_chromaticity(target, quantize=False)
+        quantized = led.emit_chromaticity(target, quantize=True)
+        assert np.allclose(exact, quantized, rtol=1e-2)
+
+    def test_typical_tri_led_scaling(self):
+        dim = typical_tri_led(max_luminance=10.0)
+        bright = typical_tri_led(max_luminance=100.0)
+        assert bright.default_symbol_power() == pytest.approx(
+            10 * dim.default_symbol_power()
+        )

@@ -1,0 +1,53 @@
+"""Additional waveform tests: long-horizon cyclic integration accuracy.
+
+The camera integrates exposure windows far into the cyclic waveform (many
+broadcast cycles deep); accumulated floating-point error in the wrap-around
+arithmetic would show up as band timing drift, so these tests pin down the
+long-horizon behaviour.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.waveform import EXTEND_CYCLE, OpticalWaveform
+
+
+@pytest.fixture
+def waveform(rng):
+    levels = rng.random((37, 3))  # odd length: wraps never align with frames
+    return OpticalWaveform(levels, symbol_rate=1000.0, extend=EXTEND_CYCLE)
+
+
+class TestLongHorizon:
+    def test_integral_far_into_stream_matches_near(self, waveform):
+        """The mean over symbol k equals the mean over symbol k + 1000 cycles."""
+        period = waveform.symbol_period
+        near = waveform.mean_xyz(3 * period, 4 * period)
+        offset = 1000 * waveform.duration
+        far = waveform.mean_xyz(offset + 3 * period, offset + 4 * period)
+        assert np.allclose(near, far, atol=1e-9)
+
+    def test_whole_cycle_mean_invariant_to_phase(self, waveform):
+        base = waveform.mean_xyz(0.0, waveform.duration)
+        for phase in (0.123, 1.456, 17.89):
+            shifted = waveform.mean_xyz(phase, phase + waveform.duration)
+            assert np.allclose(shifted, base, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=1e-4, max_value=0.5),
+    )
+    def test_mean_bounded_by_extremes(self, start, width):
+        levels = np.random.default_rng(7).random((11, 3))
+        wf = OpticalWaveform(levels, 2000.0, extend=EXTEND_CYCLE)
+        mean = wf.mean_xyz(start, start + width)
+        assert np.all(mean >= levels.min(axis=0) - 1e-9)
+        assert np.all(mean <= levels.max(axis=0) + 1e-9)
+
+    def test_symbol_index_far_into_stream(self, waveform):
+        offset = 12345 * waveform.duration
+        times = offset + np.arange(5) * waveform.symbol_period + 1e-6
+        indices = waveform.symbol_index_at(times)
+        assert np.array_equal(indices, np.arange(5))

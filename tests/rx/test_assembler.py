@@ -1,0 +1,181 @@
+"""Unit tests for cross-frame packet assembly.
+
+These tests fabricate ReceivedBand streams directly (no camera), so the
+assembler's slot-timing logic, gap handling and erasure accounting can be
+exercised deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.csk.demodulator import DecisionKind, SymbolDecision
+from repro.packet.packetizer import PacketConfig, Packetizer
+from repro.rx.assembler import PacketAssembler
+from repro.rx.detector import ReceivedBand
+from repro.rx.segmentation import Band
+
+SYMBOL_RATE = 1000.0
+PERIOD = 1.0 / SYMBOL_RATE
+
+
+@pytest.fixture
+def packetizer(mapper8):
+    return Packetizer(mapper8, PacketConfig(illumination_ratio=0.8))
+
+
+@pytest.fixture
+def assembler(packetizer):
+    return PacketAssembler(packetizer, SYMBOL_RATE)
+
+
+def decision_for(symbol, chroma_of_index):
+    if symbol.is_off:
+        return SymbolDecision(DecisionKind.OFF, None, 0.0, True)
+    if symbol.is_white:
+        return SymbolDecision(DecisionKind.WHITE, None, 0.5, True)
+    return SymbolDecision(DecisionKind.DATA, symbol.index, 0.5, True)
+
+
+def bands_from_symbols(symbols, *, drop=(), frame_of=None, jitter=0.0, seed=0):
+    """Fabricate one ReceivedBand per transmitted symbol, minus `drop`."""
+    rng = np.random.default_rng(seed)
+    chroma_of_index = {}
+    frames = {}
+    for position, symbol in enumerate(symbols):
+        if position in drop:
+            continue
+        mid_time = position * PERIOD + PERIOD / 2
+        if jitter:
+            mid_time += rng.normal(0, jitter * PERIOD)
+        frame_index = frame_of(position) if frame_of else 0
+        band = Band(
+            row_start=0,
+            row_stop=20,
+            core_start=5,
+            core_stop=15,
+            lab=np.array([70.0, float(symbol.index or 0), 0.0])
+            if symbol.is_data
+            else np.array([80.0 if symbol.is_white else 4.0, 0.0, 0.0]),
+        )
+        received = ReceivedBand(
+            frame_index=frame_index,
+            band=band,
+            mid_time=mid_time,
+            decision=decision_for(symbol, chroma_of_index),
+        )
+        frames.setdefault(frame_index, []).append(received)
+    return [frames[k] for k in sorted(frames)]
+
+
+class TestStitch:
+    def test_contiguous_stream_no_gaps(self, assembler, packetizer):
+        symbols = packetizer.build_data_packet(b"\x01\x02")
+        items = assembler.stitch(bands_from_symbols(symbols))
+        assert all(not item.is_gap for item in items)
+        assert len(items) == len(symbols)
+
+    def test_drop_creates_gap_marker(self, assembler, packetizer):
+        symbols = packetizer.build_data_packet(b"\x01\x02\x03\x04")
+        items = assembler.stitch(
+            bands_from_symbols(symbols, drop=set(range(15, 20)))
+        )
+        gaps = [item for item in items if item.is_gap]
+        assert len(gaps) == 1
+        assert gaps[0].lost == 5
+
+    def test_timing_jitter_tolerated(self, assembler, packetizer):
+        symbols = packetizer.build_data_packet(b"\xaa\xbb")
+        items = assembler.stitch(bands_from_symbols(symbols, jitter=0.2))
+        assert all(not item.is_gap for item in items)
+
+
+class TestDataExtraction:
+    def test_clean_packet_roundtrip(self, assembler, packetizer):
+        codeword = b"\x11\x22\x33\x44\x55"
+        symbols = packetizer.build_data_packet(codeword)
+        items = assembler.stitch(bands_from_symbols(symbols))
+        packets, calibrations = assembler.extract(items)
+        assert calibrations == []
+        assert len(packets) == 1
+        packet = packets[0]
+        assert packet.header_bytes == 5
+        assert packet.codeword == codeword
+        assert packet.erasure_positions == []
+        assert packet.complete
+
+    def test_gap_in_body_yields_erasures(self, assembler, packetizer):
+        codeword = bytes(range(10))
+        symbols = packetizer.build_data_packet(codeword)
+        drop = set(range(20, 26))  # six body symbols lost
+        items = assembler.stitch(bands_from_symbols(symbols, drop=drop))
+        packets, _ = assembler.extract(items)
+        assert len(packets) == 1
+        packet = packets[0]
+        assert not packet.complete
+        assert packet.erasure_positions
+        # Unerased bytes must match the codeword exactly.
+        for index, byte in enumerate(packet.codeword):
+            if index not in packet.erasure_positions:
+                assert byte == codeword[index]
+
+    def test_header_loss_drops_packet(self, assembler, packetizer):
+        symbols = packetizer.build_data_packet(bytes(6))
+        # Drop one size-field symbol (positions 8-10 after the preamble).
+        items = assembler.stitch(bands_from_symbols(symbols, drop={9}))
+        packets, _ = assembler.extract(items)
+        assert packets == []
+        assert assembler.stats.data_packets_dropped_header == 1
+
+    def test_preamble_loss_drops_packet(self, assembler, packetizer):
+        symbols = packetizer.build_data_packet(bytes(6))
+        items = assembler.stitch(bands_from_symbols(symbols, drop={0, 1, 2}))
+        packets, _ = assembler.extract(items)
+        assert packets == []
+
+    def test_two_packets_in_stream(self, assembler, packetizer):
+        first = packetizer.build_data_packet(b"\x01\x02")
+        second = packetizer.build_data_packet(b"\x03\x04")
+        symbols = first + second
+        items = assembler.stitch(bands_from_symbols(symbols))
+        packets, _ = assembler.extract(items)
+        assert [p.codeword for p in packets] == [b"\x01\x02", b"\x03\x04"]
+
+    def test_trailing_truncation_padded_with_erasures(self, assembler, packetizer):
+        codeword = bytes(range(8))
+        symbols = packetizer.build_data_packet(codeword)
+        keep = len(symbols) - 8
+        items = assembler.stitch(
+            bands_from_symbols(symbols[:keep])
+        )
+        packets, _ = assembler.extract(items)
+        assert len(packets) == 1
+        assert packets[0].symbols_erased > 0
+
+
+class TestCalibrationExtraction:
+    def test_complete_calibration(self, assembler, packetizer):
+        symbols = packetizer.build_calibration_packet()
+        items = assembler.stitch(bands_from_symbols(symbols))
+        _, calibrations = assembler.extract(items)
+        assert len(calibrations) == 1
+        event = calibrations[0]
+        assert event.indices == list(range(8))
+        assert event.complete
+        assert event.white_chroma is not None
+
+    def test_partial_calibration_indices(self, assembler, packetizer):
+        symbols = packetizer.build_calibration_packet()
+        # Preamble is 10 symbols; drop calibration symbols 3 and 4.
+        items = assembler.stitch(bands_from_symbols(symbols, drop={13, 14}))
+        _, calibrations = assembler.extract(items)
+        assert len(calibrations) == 1
+        assert calibrations[0].indices == [0, 1, 2, 5, 6, 7]
+
+    def test_calibration_then_data(self, assembler, packetizer):
+        symbols = (
+            packetizer.build_calibration_packet()
+            + packetizer.build_data_packet(b"\x0f\xf0")
+        )
+        items = assembler.stitch(bands_from_symbols(symbols))
+        packets, calibrations = assembler.extract(items)
+        assert len(packets) == 1 and len(calibrations) == 1

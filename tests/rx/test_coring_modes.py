@@ -1,0 +1,69 @@
+"""Tests for the two band-color estimators (central vs min-variance)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DemodulationError
+from repro.rx.segmentation import BandSegmenter
+
+RED = [70.0, 60.0, 30.0]
+GREEN = [75.0, -60.0, 40.0]
+
+
+def ramped(colors, pitch=24, smear=8, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for index, color in enumerate(colors):
+        color = np.asarray(color, dtype=float)
+        nxt = np.asarray(colors[(index + 1) % len(colors)], dtype=float)
+        rows.extend([color] * (pitch - smear))
+        for step in range(smear):
+            mix = (step + 1) / (smear + 1)
+            rows.append(color * (1 - mix) + nxt * mix)
+    out = np.vstack(rows)
+    if noise:
+        out[:, 1:] += rng.normal(0, noise, (out.shape[0], 2))
+    return out
+
+
+class TestCoringModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(DemodulationError):
+            BandSegmenter(rows_per_symbol=20.0, coring="fancy")
+
+    @pytest.mark.parametrize("coring", ["central", "min_variance"])
+    def test_both_modes_recover_colors(self, coring):
+        segmenter = BandSegmenter(rows_per_symbol=24.0, coring=coring)
+        colors = [RED, GREEN] * 5
+        scanlines = ramped(colors, noise=1.0)
+        bands = segmenter.segment(scanlines, smear_rows=8.0)
+        assert len(bands) == len(colors)
+        for band, color in zip(bands, colors):
+            assert np.allclose(band.lab[1:], color[1:], atol=5.0)
+
+    def test_min_variance_core_within_plateau(self):
+        segmenter = BandSegmenter(rows_per_symbol=24.0, coring="min_variance")
+        scanlines = ramped([RED, GREEN] * 4)
+        bands = segmenter.segment(scanlines, smear_rows=8.0)
+        for band in bands:
+            assert band.core_stop - band.core_start >= 3
+
+    def test_central_uses_trimmed_plateau(self):
+        segmenter = BandSegmenter(
+            rows_per_symbol=24.0, coring="central", edge_trim_fraction=0.2
+        )
+        scanlines = ramped([RED, GREEN] * 4)
+        bands = segmenter.segment(scanlines, smear_rows=8.0)
+        for band in bands:
+            # The trimmed core is narrower than the full plateau.
+            assert band.core_stop - band.core_start <= 24 - 8
+
+    def test_modes_agree_on_clean_data(self):
+        colors = [RED, GREEN, RED, GREEN]
+        scanlines = ramped(colors, noise=0.0)
+        labs = {}
+        for coring in ("central", "min_variance"):
+            segmenter = BandSegmenter(rows_per_symbol=24.0, coring=coring)
+            bands = segmenter.segment(scanlines, smear_rows=8.0)
+            labs[coring] = np.stack([b.lab for b in bands])
+        assert np.allclose(labs["central"], labs["min_variance"], atol=2.0)

@@ -1,0 +1,88 @@
+"""Unit tests for frame preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.camera.auto_exposure import ExposureSettings
+from repro.camera.frame import CapturedFrame
+from repro.exceptions import DemodulationError
+from repro.rx.preprocess import (
+    column_color_variance,
+    frame_to_scanline_lab,
+    scanline_chroma,
+)
+
+
+def make_frame(pixels):
+    return CapturedFrame(
+        index=0,
+        pixels=pixels.astype(np.uint8),
+        start_time=0.0,
+        row_period=1e-5,
+        exposure=ExposureSettings(1e-4, 100),
+    )
+
+
+class TestScanlineReduction:
+    def test_output_shape(self):
+        frame = make_frame(np.full((50, 10, 3), 128))
+        assert frame_to_scanline_lab(frame).shape == (50, 3)
+
+    def test_gray_rows_near_neutral(self):
+        frame = make_frame(np.full((20, 10, 3), 180))
+        lab = frame_to_scanline_lab(frame)
+        assert np.all(np.abs(lab[:, 1:]) < 1.0)
+
+    def test_dark_rows_low_lightness(self):
+        pixels = np.full((30, 10, 3), 200)
+        pixels[10:20] = 5
+        lab = frame_to_scanline_lab(make_frame(pixels), smooth_rows=1)
+        assert lab[15, 0] < 10
+        assert lab[5, 0] > 60
+
+    def test_red_rows_positive_a(self):
+        pixels = np.zeros((10, 8, 3))
+        pixels[..., 0] = 220
+        lab = frame_to_scanline_lab(make_frame(pixels))
+        assert np.all(lab[:, 1] > 30)
+
+    def test_smoothing_reduces_row_noise(self):
+        rng = np.random.default_rng(0)
+        pixels = np.clip(
+            128 + rng.normal(0, 30, (200, 1, 3)), 0, 255
+        ).repeat(8, axis=1)
+        rough = frame_to_scanline_lab(make_frame(pixels), smooth_rows=1)
+        smooth = frame_to_scanline_lab(make_frame(pixels), smooth_rows=5)
+        assert smooth[:, 1].std() < rough[:, 1].std()
+
+
+class TestScanlineChroma:
+    def test_drops_lightness(self):
+        lab = np.array([[50.0, 1.0, 2.0], [60.0, 3.0, 4.0]])
+        chroma = scanline_chroma(lab)
+        assert chroma.shape == (2, 2)
+        assert np.allclose(chroma, [[1, 2], [3, 4]])
+
+    def test_bad_shape(self):
+        with pytest.raises(DemodulationError):
+            scanline_chroma(np.zeros((5, 2)))
+
+
+class TestColumnColorVariance:
+    def test_lab_below_rgb_under_brightness_gradient(self):
+        """Fig 8(b): a brightness ramp inflates RGB variance, not ab variance."""
+        ramp = np.linspace(0.3, 1.0, 40)[:, np.newaxis, np.newaxis]
+        pixels = (np.array([0.8, 0.2, 0.2]) * ramp * 255).repeat(10, axis=1)
+        frame_pixels = pixels.astype(np.uint8)
+        rgb_var = column_color_variance(frame_pixels, slice(0, 40), space="rgb")
+        lab_var = column_color_variance(frame_pixels, slice(0, 40), space="lab")
+        assert lab_var < rgb_var
+
+    def test_invalid_space(self):
+        with pytest.raises(DemodulationError):
+            column_color_variance(np.zeros((4, 4, 3), dtype=np.uint8), slice(0, 4),
+                                  space="hsv")
+
+    def test_empty_slice(self):
+        with pytest.raises(DemodulationError):
+            column_color_variance(np.zeros((4, 4, 3), dtype=np.uint8), slice(0, 0))

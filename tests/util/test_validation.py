@@ -1,0 +1,51 @@
+"""Unit tests for validation helpers."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.util.validation import (
+    require,
+    require_in_range,
+    require_positive,
+    require_probability,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ConfigurationError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(0.5, "x")
+        require_positive(3, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5, "1", None])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            require_positive(value, "x")
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        require_in_range(0.0, "x", 0.0, 1.0)
+        require_in_range(1.0, "x", 0.0, 1.0)
+
+    @pytest.mark.parametrize("value", [-0.001, 1.001, "0.5"])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            require_in_range(value, "x", 0.0, 1.0)
+
+
+class TestRequireProbability:
+    def test_accepts_unit_interval(self):
+        require_probability(0.3, "p")
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ConfigurationError):
+            require_probability(1.5, "p")

@@ -1,0 +1,145 @@
+"""Tests for the video-pipeline chroma degradations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.video.compression import (
+    chroma_subsample_420,
+    quantize_blocks,
+    simulate_video_pipeline,
+)
+
+
+def color_frame(rows=40, cols=16, seed=0):
+    """Band-structured content (constant color per 8-row stripe).
+
+    Matches what rolling-shutter frames look like; avoids the extreme
+    per-pixel colors whose YCbCr round trip clips at the RGB gamut edge.
+    """
+    rng = np.random.default_rng(seed)
+    frame = np.empty((rows, cols, 3), dtype=np.uint8)
+    for start in range(0, rows, 8):
+        color = rng.integers(50, 206, 3)
+        frame[start : start + 8] = color
+    return frame
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            np.zeros((4, 4), dtype=np.uint8),
+            np.zeros((4, 4, 3), dtype=np.float32),
+            "frame",
+        ],
+    )
+    def test_bad_input_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            chroma_subsample_420(bad)
+
+    def test_bad_quantize_params(self):
+        frame = color_frame()
+        with pytest.raises(ConfigurationError):
+            quantize_blocks(frame, block_rows=0)
+        with pytest.raises(ConfigurationError):
+            quantize_blocks(frame, chroma_step=0)
+
+
+class TestChromaSubsampling:
+    def test_gray_frame_unchanged(self):
+        frame = np.full((20, 20, 3), 128, dtype=np.uint8)
+        out = chroma_subsample_420(frame)
+        assert np.abs(out.astype(int) - 128).max() <= 1
+
+    def test_luma_preserved(self):
+        frame = color_frame()
+        out = chroma_subsample_420(frame)
+        luma_in = frame.astype(float) @ [0.299, 0.587, 0.114]
+        luma_out = out.astype(float) @ [0.299, 0.587, 0.114]
+        assert np.abs(luma_in - luma_out).max() < 2.5
+
+    def test_chroma_blocks_uniform(self):
+        frame = color_frame()
+        out = chroma_subsample_420(frame)
+        ycbcr = out.astype(float) @ np.array(
+            [
+                [0.299, -0.168736, 0.5],
+                [0.587, -0.331264, -0.418688],
+                [0.114, 0.5, -0.081312],
+            ]
+        )
+        cb = ycbcr[..., 1]
+        # Within every 2x2 block the chroma is constant (up to rounding).
+        for r in range(0, 20, 2):
+            for c in range(0, 16, 2):
+                block = cb[r : r + 2, c : c + 2]
+                assert block.max() - block.min() <= 2.5
+
+    def test_sharp_chroma_edge_blurred(self):
+        frame = np.zeros((20, 8, 3), dtype=np.uint8)
+        frame[:10, :, 0] = 220  # red top
+        frame[10:, :, 2] = 220  # blue bottom
+        out = chroma_subsample_420(frame)
+        # The boundary rows 9/10 share a 2x2 chroma block... they don't
+        # (blocks are rows (8,9) and (10,11)); but the *within-block*
+        # averaging still holds each pair together, keeping the edge at
+        # the block boundary. Verify structure is retained overall.
+        assert out[2, 2, 0] > out[2, 2, 2]
+        assert out[17, 2, 2] > out[17, 2, 0]
+
+
+class TestBlockQuantization:
+    def test_quantization_changes_chroma_only_slightly(self):
+        frame = color_frame()
+        out = quantize_blocks(frame, block_rows=8, chroma_step=8.0)
+        assert np.abs(out.astype(int) - frame.astype(int)).max() <= 16
+
+    def test_larger_step_more_distortion(self):
+        frame = color_frame(rows=64)
+        small = quantize_blocks(frame, chroma_step=2.0).astype(int)
+        large = quantize_blocks(frame, chroma_step=24.0).astype(int)
+        err_small = np.abs(small - frame.astype(int)).mean()
+        err_large = np.abs(large - frame.astype(int)).mean()
+        assert err_large >= err_small
+
+
+class TestPipeline:
+    def test_combined_pipeline_runs(self):
+        frame = color_frame()
+        out = simulate_video_pipeline(frame)
+        assert out.shape == frame.shape
+        assert out.dtype == np.uint8
+
+    def test_pipeline_on_recording(self, tiny_device):
+        """Degrading a recording must raise (or at least not lower) SER."""
+        from repro.core.config import SystemConfig
+        from repro.core.metrics import align_ground_truth, data_symbol_error_rate
+        from repro.core.system import ColorBarsTransmitter, make_receiver
+        from repro.link.workloads import text_payload
+        from repro.phy.waveform import EXTEND_CYCLE
+        from repro.video.recording import Recording
+
+        config = SystemConfig(
+            csk_order=16, symbol_rate=1000, design_loss_ratio=0.25,
+            illumination_ratio=0.8,
+        )
+        transmitter = ColorBarsTransmitter(config)
+        plan = transmitter.plan(text_payload(config.rs_params().k))
+        waveform = transmitter.waveform(plan, extend=EXTEND_CYCLE)
+        camera = tiny_device.make_camera(simulated_columns=16, seed=5)
+        frames = camera.record(waveform, duration=2.0)
+        recording = Recording(frames=frames)
+        degraded = recording.map_pixels(
+            lambda px: simulate_video_pipeline(px, chroma_step=16.0)
+        )
+
+        def ser_of(frame_list):
+            receiver = make_receiver(config, tiny_device.timing)
+            report = receiver.process_frames(frame_list)
+            matches = align_ground_truth(report.bands, plan.symbols, waveform)
+            return data_symbol_error_rate(matches)
+
+        clean = ser_of(recording.frames)
+        compressed = ser_of(degraded.frames)
+        assert compressed >= clean - 0.01

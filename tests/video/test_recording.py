@@ -1,0 +1,113 @@
+"""Tests for the recording container and its npz round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.camera.auto_exposure import ExposureSettings
+from repro.camera.frame import CapturedFrame
+from repro.exceptions import ConfigurationError
+from repro.video.recording import Recording, load_recording, save_recording
+
+
+def make_frames(count=4, rows=50, cols=8):
+    rng = np.random.default_rng(0)
+    return [
+        CapturedFrame(
+            index=i,
+            pixels=rng.integers(0, 256, (rows, cols, 3), dtype=np.uint8),
+            start_time=i / 30.0,
+            row_period=1e-5,
+            exposure=ExposureSettings(1 / 4000, 100 + 10 * i),
+        )
+        for i in range(count)
+    ]
+
+
+class TestRecording:
+    def test_requires_frames(self):
+        with pytest.raises(ConfigurationError):
+            Recording(frames=[])
+
+    def test_mixed_shapes_rejected(self):
+        frames = make_frames(2)
+        odd = CapturedFrame(
+            index=2,
+            pixels=np.zeros((60, 8, 3), dtype=np.uint8),
+            start_time=2 / 30.0,
+            row_period=1e-5,
+            exposure=ExposureSettings(1 / 4000, 100),
+        )
+        with pytest.raises(ConfigurationError):
+            Recording(frames=frames + [odd])
+
+    def test_duration(self):
+        recording = Recording(frames=make_frames(4))
+        assert recording.duration_s == pytest.approx(4 / 30.0)
+
+    def test_map_pixels_preserves_metadata(self):
+        recording = Recording(frames=make_frames(3), device_name="x")
+        inverted = recording.map_pixels(lambda px: 255 - px)
+        assert inverted.frame_count == 3
+        assert inverted.frames[1].start_time == recording.frames[1].start_time
+        assert np.array_equal(
+            inverted.frames[0].pixels, 255 - recording.frames[0].pixels
+        )
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, tmp_path):
+        recording = Recording(
+            frames=make_frames(5), device_name="tiny cam", symbol_rate=1500.0
+        )
+        path = save_recording(recording, tmp_path / "clip.npz")
+        loaded = load_recording(path)
+        assert loaded.device_name == "tiny cam"
+        assert loaded.symbol_rate == 1500.0
+        assert loaded.frame_count == 5
+        for original, restored in zip(recording.frames, loaded.frames):
+            assert np.array_equal(original.pixels, restored.pixels)
+            assert restored.start_time == pytest.approx(original.start_time)
+            assert restored.exposure.iso == pytest.approx(original.exposure.iso)
+
+    def test_suffix_added(self, tmp_path):
+        recording = Recording(frames=make_frames(1))
+        path = save_recording(recording, tmp_path / "clip")
+        assert path.suffix == ".npz"
+        assert load_recording(path).frame_count == 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_recording(tmp_path / "nope.npz")
+
+
+class TestOfflineDecode:
+    def test_recording_decodes_like_live_frames(self, tiny_device, tmp_path):
+        """The paper's offline path: record, persist, decode elsewhere."""
+        from repro.core.config import SystemConfig
+        from repro.core.system import ColorBarsTransmitter, make_receiver
+        from repro.link.workloads import text_payload
+        from repro.phy.waveform import EXTEND_CYCLE
+
+        config = SystemConfig(
+            csk_order=8, symbol_rate=1000, design_loss_ratio=0.25,
+            illumination_ratio=0.8,
+        )
+        transmitter = ColorBarsTransmitter(config)
+        plan = transmitter.plan(text_payload(config.rs_params().k))
+        waveform = transmitter.waveform(plan, extend=EXTEND_CYCLE)
+        camera = tiny_device.make_camera(simulated_columns=16, seed=0)
+        frames = camera.record(waveform, duration=2.0)
+
+        recording = Recording(
+            frames=frames, device_name=tiny_device.name,
+            symbol_rate=config.symbol_rate,
+        )
+        path = save_recording(recording, tmp_path / "session")
+        loaded = load_recording(path)
+
+        live = make_receiver(config, tiny_device.timing).process_frames(frames)
+        offline = make_receiver(config, tiny_device.timing).process_frames(
+            loaded.frames
+        )
+        assert offline.packets_decoded == live.packets_decoded
+        assert offline.payloads == live.payloads
