@@ -24,6 +24,7 @@ from repro.camera.color_filter import ColorResponse, perturbed_response
 from repro.camera.noise import SensorNoise
 from repro.camera.optics import Optics
 from repro.camera.sensor import RollingShutterCamera, SensorTiming
+from repro.util.rng import RngLike, make_rng
 
 #: Table 1 inter-frame loss ratios.
 NEXUS5_LOSS_RATIO = 0.2312
@@ -124,10 +125,15 @@ def generic_device(
     cols: int = 1080,
     frame_rate: float = 30.0,
     crosstalk: float = 0.1,
-    seed=None,
+    seed: RngLike = None,
 ) -> DeviceProfile:
-    """A parameterized synthetic phone for sweeps and population studies."""
-    rng = np.random.default_rng(seed) if seed is not None else None
+    """A parameterized synthetic phone for sweeps and population studies.
+
+    ``seed`` may be an int or an existing ``Generator`` (e.g. one derived via
+    :func:`repro.util.rng.derive_rng`), so preset jitter participates in the
+    single-seed derivation tree; ``None`` keeps the preset deterministic.
+    """
+    rng = make_rng(seed) if seed is not None else None
     return DeviceProfile(
         name=f"generic(l={loss_ratio})",
         timing=SensorTiming(

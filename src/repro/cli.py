@@ -11,12 +11,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.camera.devices import DeviceProfile, generic_device, iphone_5s, nexus_5
 from repro.core.config import SystemConfig
+from repro.exceptions import ToolingError
 from repro.link.simulator import LinkSimulator
 from repro.link.workloads import text_payload
+from repro.tooling import ALL_RULES, format_report, get_rules, lint_tree
 
 _DEVICES = {
     "nexus5": nexus_5,
@@ -116,6 +119,27 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id:>18}  {rule.description}")
+        return 0
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    findings = []
+    files_checked = 0
+    try:
+        rules = get_rules(args.rules.split(",")) if args.rules else None
+        for path in paths:
+            report = lint_tree(path, rules=rules)
+            findings.extend(report.findings)
+            files_checked += report.files_checked
+    except ToolingError as exc:
+        print(f"colorbars lint: error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(sorted(findings), files_checked))
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -146,6 +170,22 @@ def build_parser() -> argparse.ArgumentParser:
     info_p = sub.add_parser("info", help="show derived link parameters")
     common(info_p)
     info_p.set_defaults(func=cmd_info)
+
+    lint_p = sub.add_parser(
+        "lint", help="run reprolint static-analysis checks over the package"
+    )
+    lint_p.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    lint_p.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    lint_p.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -79,3 +79,11 @@ class CalibrationError(ColorBarsError):
 
 class LinkError(ColorBarsError):
     """End-to-end link simulation failed to produce a usable result."""
+
+
+class ToolingError(ColorBarsError):
+    """A development tool (e.g. ``reprolint``) was misconfigured or misused."""
+
+
+class LayeringError(ToolingError):
+    """The declared import-layering graph is malformed (cycle, unknown layer)."""

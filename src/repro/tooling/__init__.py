@@ -1,0 +1,46 @@
+"""``reprolint``: AST-based invariant linter for the ColorBars codebase.
+
+The reproduction's correctness rests on conventions that the code states but
+Python does not enforce: single-seed reproducibility through
+:mod:`repro.util.rng`, a strict layering of the optical chain
+(``util -> color -> phy -> ... -> rx -> link``), and the
+:class:`~repro.exceptions.ColorBarsError` hierarchy.  This package turns those
+conventions into named, individually testable static-analysis rules that run
+over the package source with :mod:`ast`.
+
+Three entry points consume it:
+
+* ``colorbars lint`` — the CLI subcommand (see :mod:`repro.cli`);
+* ``tests/core/test_lint_clean.py`` — the pytest gate asserting the tree is
+  violation-free;
+* ``.github/workflows/ci.yml`` — the CI job running both of the above.
+
+Findings can be suppressed per line with ``# reprolint: disable=<rule-id>``.
+"""
+
+from repro.tooling.findings import Finding, parse_pragmas
+from repro.tooling.layers import LAYER_DEPS, allowed_imports, layer_of
+from repro.tooling.rules import ALL_RULES, Rule, get_rules
+from repro.tooling.runner import (
+    LintReport,
+    format_report,
+    lint_file,
+    lint_source,
+    lint_tree,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LAYER_DEPS",
+    "LintReport",
+    "Rule",
+    "allowed_imports",
+    "format_report",
+    "get_rules",
+    "layer_of",
+    "lint_file",
+    "lint_source",
+    "lint_tree",
+    "parse_pragmas",
+]

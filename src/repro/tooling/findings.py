@@ -1,0 +1,62 @@
+"""Structured lint findings and ``# reprolint: disable=`` pragma handling."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set
+
+#: Matches ``# reprolint: disable=rule-a,rule-b`` anywhere in a physical line.
+_PRAGMA_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+#: Sentinel rule name that suppresses every rule on the line.
+DISABLE_ALL = "all"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Sort order is (path, line, rule_id) so reports are stable across runs.
+    """
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the canonical ``file:line rule-id message`` report line."""
+        return f"{self.path}:{self.line} {self.rule_id} {self.message}"
+
+
+def parse_pragmas(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the set of rule ids disabled on that line.
+
+    A pragma applies only to findings reported on its own physical line; use
+    ``disable=all`` to suppress every rule there.  Unknown rule names are kept
+    verbatim (they simply never match a finding), so a typo silently disables
+    nothing rather than something unexpected.
+    """
+    pragmas: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = {name.strip() for name in match.group(1).split(",") if name.strip()}
+        if rules:
+            pragmas[lineno] = rules
+    return pragmas
+
+
+def apply_pragmas(
+    findings: Iterable[Finding], pragmas: Dict[int, Set[str]]
+) -> List[Finding]:
+    """Drop findings whose line carries a pragma naming their rule (or ``all``)."""
+    kept = []
+    for finding in findings:
+        disabled = pragmas.get(finding.line, ())
+        if finding.rule_id in disabled or DISABLE_ALL in disabled:
+            continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,116 @@
+"""The declared import-layering DAG of the ``repro`` package.
+
+Each layer names the layers it may import *directly*; the transitive closure
+is computed (and the graph checked for cycles) at import time.  The intended
+architecture is a strict bottom-up chain through the optical pipeline::
+
+    exceptions -> util -> color -> phy -> {csk, fec, camera}
+        -> {packet, flicker, video} -> rx -> core -> link
+        -> {analysis, baselines}
+
+with ``tooling`` off to the side (it may only see ``util``/``exceptions``)
+and the application shell (``cli``, ``__main__``, the package root) allowed
+to import anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.exceptions import LayeringError
+
+#: Pseudo-layer for application entry points; exempt from layering checks.
+APP_LAYER = "app"
+
+#: Top-level modules of ``repro`` that are not packages, mapped to layers.
+_TOP_LEVEL_MODULES = {
+    "exceptions": "exceptions",
+    "cli": APP_LAYER,
+    "__main__": APP_LAYER,
+    "__init__": APP_LAYER,
+}
+
+#: Direct (non-transitive) dependencies each layer is allowed.
+LAYER_DEPS: Dict[str, FrozenSet[str]] = {
+    "exceptions": frozenset(),
+    "util": frozenset({"exceptions"}),
+    "color": frozenset({"util"}),
+    "phy": frozenset({"color"}),
+    "fec": frozenset({"util"}),
+    "csk": frozenset({"phy"}),
+    "camera": frozenset({"phy"}),
+    "packet": frozenset({"csk"}),
+    "flicker": frozenset({"csk"}),
+    "video": frozenset({"camera"}),
+    "rx": frozenset({"video", "packet", "fec"}),
+    "core": frozenset({"rx", "flicker"}),
+    "link": frozenset({"core"}),
+    "analysis": frozenset({"link"}),
+    "baselines": frozenset({"rx"}),
+    "tooling": frozenset({"util"}),
+}
+
+
+def _closure(graph: Dict[str, FrozenSet[str]]) -> Dict[str, FrozenSet[str]]:
+    """Transitive closure of the dependency graph; raises on cycles."""
+    resolved: Dict[str, FrozenSet[str]] = {}
+    visiting: Set[str] = set()
+
+    def visit(layer: str) -> FrozenSet[str]:
+        if layer in resolved:
+            return resolved[layer]
+        if layer in visiting:
+            raise LayeringError(f"cycle in LAYER_DEPS through layer {layer!r}")
+        visiting.add(layer)
+        reach: Set[str] = set()
+        for dep in graph[layer]:
+            if dep not in graph:
+                raise LayeringError(
+                    f"layer {layer!r} depends on unknown layer {dep!r}"
+                )
+            reach.add(dep)
+            reach.update(visit(dep))
+        visiting.discard(layer)
+        resolved[layer] = frozenset(reach)
+        return resolved[layer]
+
+    for name in graph:
+        visit(name)
+    return resolved
+
+
+_ALLOWED: Dict[str, FrozenSet[str]] = _closure(LAYER_DEPS)
+
+
+def allowed_imports(layer: str) -> FrozenSet[str]:
+    """All layers ``layer`` may import (direct dependencies plus transitive)."""
+    if layer == APP_LAYER:
+        return frozenset(LAYER_DEPS)
+    try:
+        return _ALLOWED[layer]
+    except KeyError:
+        raise LayeringError(f"unknown layer {layer!r}") from None
+
+
+def layer_of(module: str) -> Optional[str]:
+    """Layer of a dotted module path, or ``None`` if it is not part of ``repro``.
+
+    Accepts absolute names (``repro.camera.sensor``) and package-relative ones
+    (``camera.sensor`` or just ``camera``).
+    """
+    parts = module.split(".")
+    if parts[0] == "repro":
+        parts = parts[1:]
+    if not parts or not parts[0]:
+        return APP_LAYER  # the package root itself
+    head = parts[0]
+    if head in LAYER_DEPS:
+        return head
+    return _TOP_LEVEL_MODULES.get(head)
+
+
+def is_import_allowed(importer: str, imported: str) -> bool:
+    """May layer ``importer`` import layer ``imported``?"""
+    if importer == APP_LAYER or importer == imported:
+        return True
+    return imported in allowed_imports(importer)

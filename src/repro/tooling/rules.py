@@ -1,0 +1,382 @@
+"""Named lint rules, each an independently testable AST check.
+
+Every rule yields :class:`~repro.tooling.findings.Finding` objects from its
+``check`` method.  Rules never print and never mutate the tree; the runner
+(:mod:`repro.tooling.runner`) owns file IO, pragma filtering, and reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ToolingError
+from repro.tooling.findings import Finding
+from repro.tooling.layers import (
+    APP_LAYER,
+    allowed_imports,
+    is_import_allowed,
+    layer_of,
+)
+
+#: The one module allowed to talk to ``numpy.random`` / ``random`` directly.
+RNG_MODULE = "repro.util.rng"
+
+#: ``from numpy.random import <name>`` stays legal for these (typing only).
+_RNG_TYPE_NAMES = {"Generator", "BitGenerator", "SeedSequence"}
+
+#: Builtin exception types library code must not raise raw.
+_RAW_RAISE_NAMES = {"ValueError", "RuntimeError", "Exception"}
+
+#: Calls producing a fresh mutable object, illegal as argument defaults.
+_MUTABLE_FACTORY_NAMES = {"list", "dict", "set", "bytearray"}
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source: str
+    layer: Optional[str] = None
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.layer is None and self.module:
+            self.layer = layer_of(self.module)
+        if not self.aliases:
+            self.aliases = _collect_aliases(self.tree)
+
+    @property
+    def is_library(self) -> bool:
+        """Application shells (``cli``, ``__main__``) are exempt from library rules."""
+        return self.layer != APP_LAYER
+
+    @property
+    def is_rng_module(self) -> bool:
+        return self.module == RNG_MODULE or self.path.replace("\\", "/").endswith(
+            "repro/util/rng.py"
+        )
+
+
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted module/object paths they were imported as."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.asname is not None:
+                    aliases[item.asname] = item.name
+                else:
+                    # ``import numpy.random`` binds the top-level name only.
+                    head = item.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def resolve_dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve an ``a.b.c`` expression to its imported dotted path, if any."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    parts[0] = aliases.get(parts[0], parts[0])
+    return ".".join(parts)
+
+
+class Rule:
+    """Base class: subclasses set ``rule_id``/``description`` and ``check``."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, context: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+class RngDirectCallRule(Rule):
+    """All randomness flows through ``repro.util.rng`` — nowhere else."""
+
+    rule_id = "rng-direct-call"
+    description = (
+        "no numpy.random/<stdlib random> calls or imports outside repro/util/rng.py;"
+        " accept an rng parameter and route through make_rng/derive_rng"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if context.is_rng_module:
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if item.name == "random" or item.name.startswith("random."):
+                        yield self.finding(
+                            context, node,
+                            "import of stdlib 'random'; use repro.util.rng instead",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    yield self.finding(
+                        context, node,
+                        "import from stdlib 'random'; use repro.util.rng instead",
+                    )
+                elif node.module == "numpy.random":
+                    banned = [
+                        item.name
+                        for item in node.names
+                        if item.name not in _RNG_TYPE_NAMES
+                    ]
+                    if banned:
+                        yield self.finding(
+                            context, node,
+                            f"direct import of numpy.random.{{{', '.join(banned)}}};"
+                            " use repro.util.rng (make_rng/derive_rng)",
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = resolve_dotted(node.func, context.aliases)
+                if dotted is None:
+                    continue
+                if dotted == "random" or dotted.startswith("random."):
+                    yield self.finding(
+                        context, node,
+                        f"call to stdlib '{dotted}'; use repro.util.rng instead",
+                    )
+                elif dotted.startswith("numpy.random.") and dotted != (
+                    "numpy.random.Generator"  # covered by rng-generator-ctor
+                ):
+                    yield self.finding(
+                        context, node,
+                        f"direct call to {dotted.replace('numpy', 'np', 1)};"
+                        " route through repro.util.rng (make_rng/derive_rng)",
+                    )
+
+
+class RngGeneratorCtorRule(Rule):
+    """``np.random.Generator`` must never be constructed by hand."""
+
+    rule_id = "rng-generator-ctor"
+    description = (
+        "no direct np.random.Generator(...) construction; generators come from"
+        " repro.util.rng.make_rng/derive_rng"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, context.aliases)
+            if dotted == "numpy.random.Generator":
+                detail = "argless " if not node.args and not node.keywords else ""
+                yield self.finding(
+                    context, node,
+                    f"{detail}np.random.Generator construction;"
+                    " use repro.util.rng.make_rng",
+                )
+
+
+class ImportLayeringRule(Rule):
+    """Enforce the declared DAG over the optical-chain layers."""
+
+    rule_id = "import-layering"
+    description = (
+        "intra-repro imports must follow the layering DAG declared in"
+        " repro.tooling.layers (e.g. phy may never import rx)"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        importer = context.layer
+        if importer is None or importer == APP_LAYER:
+            return
+        for node in ast.walk(context.tree):
+            for target in self._targets(node, context):
+                imported = layer_of(target)
+                if imported is None:
+                    # Only ``from repro import <reexported symbol>`` resolves to
+                    # no layer; that is an import of the package root.
+                    imported = APP_LAYER
+                if not is_import_allowed(importer, imported):
+                    allowed = ", ".join(sorted(allowed_imports(importer))) or "nothing"
+                    yield self.finding(
+                        context, node,
+                        f"layer '{importer}' may not import '{target}'"
+                        f" (layer '{imported}'); allowed layers: {allowed}",
+                    )
+
+    @staticmethod
+    def _targets(node: ast.AST, context: ModuleContext) -> Iterator[str]:
+        """Dotted repro-module targets named by an import statement."""
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "repro" or item.name.startswith("repro."):
+                    yield item.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level > 0:
+                base = _resolve_relative_base(context.module, node.level)
+                if base is None:
+                    return
+                yield f"{base}.{node.module}" if node.module else base
+            elif node.module == "repro":
+                # ``from repro import X``: X may itself be a subpackage/layer.
+                for item in node.names:
+                    yield f"repro.{item.name}"
+            elif node.module and node.module.startswith("repro."):
+                yield node.module
+
+
+def _resolve_relative_base(module: str, level: int) -> Optional[str]:
+    """Package a ``level``-deep relative import resolves against, if known."""
+    if not module:
+        return None
+    parts = module.split(".")
+    # The module's own package is parts[:-1]; each extra level climbs once more.
+    cut = len(parts) - level
+    if cut < 1:
+        return None
+    return ".".join(parts[:cut])
+
+
+class BareExceptRule(Rule):
+    """``except:`` swallows SystemExit/KeyboardInterrupt and hides bugs."""
+
+    rule_id = "bare-except"
+    description = "no bare 'except:'; catch a ColorBarsError subclass or Exception"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    context, node,
+                    "bare 'except:'; name the exception type"
+                    " (prefer the ColorBarsError hierarchy)",
+                )
+
+
+class RawRaiseRule(Rule):
+    """Library errors come from the ``ColorBarsError`` hierarchy."""
+
+    rule_id = "raw-raise"
+    description = (
+        "library code must not raise raw ValueError/RuntimeError/Exception;"
+        " use the ColorBarsError hierarchy or repro.util.validation helpers"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_library:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            if isinstance(exc, ast.Name) and exc.id in _RAW_RAISE_NAMES:
+                yield self.finding(
+                    context, node,
+                    f"raw 'raise {exc.id}' in library code; raise a"
+                    " ColorBarsError subclass or use util.validation",
+                )
+
+
+class MutableDefaultRule(Rule):
+    """Mutable argument defaults are shared across calls — a classic trap."""
+
+    rule_id = "mutable-default"
+    description = "no mutable default arguments (list/dict/set literals or factories)"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        context, default,
+                        f"mutable default argument in '{name}';"
+                        " default to None and create inside the body",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORY_NAMES
+        )
+
+
+class NoPrintRule(Rule):
+    """Library code reports through return values and exceptions, not stdout."""
+
+    rule_id = "no-print"
+    description = "no print() in library code (cli/__main__ are exempt)"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_library:
+            return
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    context, node,
+                    "print() in library code; return data or raise instead",
+                )
+
+
+#: Registry of every rule, in report order.
+ALL_RULES: Tuple[Rule, ...] = (
+    RngDirectCallRule(),
+    RngGeneratorCtorRule(),
+    ImportLayeringRule(),
+    BareExceptRule(),
+    RawRaiseRule(),
+    MutableDefaultRule(),
+    NoPrintRule(),
+)
+
+
+def get_rules(rule_ids: Optional[Sequence[str]] = None) -> Tuple[Rule, ...]:
+    """Return all rules, or the named subset (unknown names raise)."""
+    if rule_ids is None:
+        return ALL_RULES
+    by_id = {rule.rule_id: rule for rule in ALL_RULES}
+    unknown = sorted(set(rule_ids) - set(by_id))
+    if unknown:
+        raise ToolingError(
+            f"unknown reprolint rule(s): {', '.join(unknown)};"
+            f" known rules: {', '.join(sorted(by_id))}"
+        )
+    return tuple(by_id[rule_id] for rule_id in rule_ids)

@@ -1,0 +1,117 @@
+"""Drive lint rules over sources, files, and whole trees; format reports."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ToolingError
+from repro.tooling.findings import Finding, apply_pragmas, parse_pragmas
+from repro.tooling.rules import ALL_RULES, ModuleContext, Rule
+
+#: Rule id used for files that do not parse at all.
+SYNTAX_ERROR_RULE = "syntax-error"
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of linting a set of files."""
+
+    findings: Tuple[Finding, ...]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def format(self) -> str:
+        return format_report(self.findings, self.files_checked)
+
+
+def module_name_for(path: Union[str, Path]) -> str:
+    """Dotted module name for a file under a ``repro`` package tree.
+
+    Keeps the ``__init__`` component (``repro.camera.__init__``) so relative
+    imports resolve against the right package.  Returns ``""`` when the path
+    does not contain a ``repro`` component (e.g. scratch fixture files).
+    """
+    parts = Path(path).with_suffix("").parts
+    try:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return ""
+    return ".".join(parts[start:])
+
+
+def lint_source(
+    source: str,
+    path: Union[str, Path] = "<string>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one module's source text; returns sorted, pragma-filtered findings."""
+    path = str(path)
+    if module is None:
+        module = module_name_for(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                rule_id=SYNTAX_ERROR_RULE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    context = ModuleContext(path=path, module=module, tree=tree, source=source)
+    findings: List[Finding] = []
+    for rule in ALL_RULES if rules is None else rules:
+        findings.extend(rule.check(context))
+    return sorted(apply_pragmas(findings, parse_pragmas(source)))
+
+
+def lint_file(
+    path: Union[str, Path], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ToolingError(f"cannot read {file_path}: {exc}") from exc
+    return lint_source(source, path=file_path, rules=rules)
+
+
+def lint_tree(
+    root: Union[str, Path], rules: Optional[Sequence[Rule]] = None
+) -> LintReport:
+    """Lint every ``*.py`` file under ``root`` (or a single file)."""
+    root_path = Path(root)
+    if root_path.is_file():
+        files = [root_path]
+    elif root_path.is_dir():
+        files = sorted(p for p in root_path.rglob("*.py") if p.is_file())
+    else:
+        raise ToolingError(f"lint target does not exist: {root_path}")
+    findings: List[Finding] = []
+    for file_path in files:
+        findings.extend(lint_file(file_path, rules=rules))
+    return LintReport(findings=tuple(sorted(findings)), files_checked=len(files))
+
+
+def format_report(findings: Sequence[Finding], files_checked: int) -> str:
+    """Human-readable report: one ``file:line rule-id message`` line per finding."""
+    lines = [finding.format() for finding in findings]
+    noun = "file" if files_checked == 1 else "files"
+    if not findings:
+        lines.append(f"reprolint: {files_checked} {noun} checked, no violations")
+    else:
+        count = len(findings)
+        lines.append(
+            f"reprolint: {count} violation{'s' if count != 1 else ''}"
+            f" in {files_checked} {noun}"
+        )
+    return "\n".join(lines)

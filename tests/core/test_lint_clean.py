@@ -1,0 +1,21 @@
+"""Repo-wide gate: the ``repro`` package must be reprolint-clean.
+
+This is the machine-checked form of the project's code contracts (DESIGN.md
+"Code contracts & static analysis"): RNG discipline, import layering,
+exception hygiene, and the smaller hygiene rules.  If this test fails, run
+``colorbars lint`` for the same report and fix (or, with justification,
+``# reprolint: disable=<rule>``) each finding.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.tooling import lint_tree
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_package_tree_is_violation_free():
+    report = lint_tree(PACKAGE_ROOT)
+    assert report.files_checked >= 70, "lint walked suspiciously few files"
+    assert report.clean, "\n" + report.format()

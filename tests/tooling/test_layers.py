@@ -1,0 +1,73 @@
+"""Tests for the declared import-layering DAG."""
+
+import pytest
+
+from repro.exceptions import LayeringError
+from repro.tooling import LAYER_DEPS, allowed_imports, layer_of
+from repro.tooling.layers import APP_LAYER, _closure, is_import_allowed
+
+
+class TestLayerOf:
+    def test_package_module(self):
+        assert layer_of("repro.camera.sensor") == "camera"
+
+    def test_package_init_keeps_layer(self):
+        assert layer_of("repro.csk.__init__") == "csk"
+
+    def test_top_level_exceptions_module(self):
+        assert layer_of("repro.exceptions") == "exceptions"
+
+    def test_app_shell_modules(self):
+        assert layer_of("repro.cli") == APP_LAYER
+        assert layer_of("repro.__main__") == APP_LAYER
+        assert layer_of("repro.__init__") == APP_LAYER
+        assert layer_of("repro") == APP_LAYER
+
+    def test_unknown_module_is_none(self):
+        assert layer_of("numpy.random") is None
+
+
+class TestDag:
+    def test_every_layer_reaches_exceptions(self):
+        for layer in LAYER_DEPS:
+            if layer == "exceptions":
+                continue
+            assert "exceptions" in allowed_imports(layer), layer
+
+    def test_paper_chain_ordering(self):
+        # The optical chain flows one way: emitter -> camera -> receiver.
+        assert is_import_allowed("rx", "camera")
+        assert not is_import_allowed("camera", "rx")
+        assert not is_import_allowed("phy", "rx")
+        assert not is_import_allowed("camera", "csk")
+        assert is_import_allowed("link", "core")
+        assert not is_import_allowed("core", "link")
+
+    def test_tooling_is_a_leaf_side_branch(self):
+        assert allowed_imports("tooling") == frozenset({"util", "exceptions"})
+        for layer in LAYER_DEPS:
+            assert "tooling" not in allowed_imports(layer), layer
+
+    def test_app_may_import_everything(self):
+        assert allowed_imports(APP_LAYER) == frozenset(LAYER_DEPS)
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(LayeringError):
+            allowed_imports("sidecar")
+
+    def test_cycle_detection(self):
+        with pytest.raises(LayeringError, match="cycle"):
+            _closure({"a": frozenset({"b"}), "b": frozenset({"a"})})
+
+    def test_unknown_dep_detection(self):
+        with pytest.raises(LayeringError, match="unknown layer"):
+            _closure({"a": frozenset({"ghost"})})
+
+    def test_declared_graph_matches_reality(self):
+        # Every observed cross-layer import in src/ must be declared legal;
+        # the repo-wide gate (test_lint_clean) enforces the converse.
+        assert is_import_allowed("rx", "fec")
+        assert is_import_allowed("baselines", "rx")
+        assert is_import_allowed("analysis", "link")
+        assert is_import_allowed("video", "camera")
+        assert is_import_allowed("flicker", "csk")

@@ -1,0 +1,312 @@
+"""Per-rule unit tests: each rule has sources that must and must not trigger.
+
+Snippets are linted through :func:`repro.tooling.lint_source` with synthetic
+``repro``-relative paths so layer resolution behaves as it does on disk.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.tooling import lint_source
+
+LIB_PATH = "src/repro/camera/somefile.py"
+
+
+def rule_ids(source, path=LIB_PATH):
+    return [f.rule_id for f in lint_source(textwrap.dedent(source), path=path)]
+
+
+class TestRngDirectCall:
+    def test_default_rng_call_triggers(self):
+        src = """
+            import numpy as np
+
+            def jitter(seed=None):
+                return np.random.default_rng(seed)
+        """
+        assert rule_ids(src) == ["rng-direct-call"]
+
+    def test_distribution_call_triggers(self):
+        src = """
+            import numpy as np
+
+            def noisy():
+                return np.random.normal(0.0, 1.0)
+        """
+        assert rule_ids(src) == ["rng-direct-call"]
+
+    def test_stdlib_random_import_and_call_trigger(self):
+        src = """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+        """
+        assert rule_ids(src) == ["rng-direct-call", "rng-direct-call"]
+
+    def test_from_numpy_random_import_triggers(self):
+        src = "from numpy.random import default_rng\n"
+        assert rule_ids(src) == ["rng-direct-call"]
+
+    def test_resolves_import_alias(self):
+        src = """
+            import numpy.random as npr
+
+            def noisy():
+                return npr.uniform()
+        """
+        assert rule_ids(src) == ["rng-direct-call"]
+
+    def test_generator_param_usage_is_clean(self):
+        src = """
+            import numpy as np
+
+            def noisy(values, rng: np.random.Generator):
+                return values + rng.normal(size=len(values))
+        """
+        assert rule_ids(src) == []
+
+    def test_generator_type_import_is_clean(self):
+        src = "from numpy.random import Generator, SeedSequence\n"
+        assert rule_ids(src) == []
+
+    def test_rng_module_itself_is_exempt(self):
+        src = """
+            import numpy as np
+
+            def make_rng(seed=None):
+                return np.random.default_rng(seed)
+        """
+        assert rule_ids(src, path="src/repro/util/rng.py") == []
+
+
+class TestRngGeneratorCtor:
+    def test_argless_generator_construction_triggers(self):
+        src = """
+            import numpy as np
+
+            def fresh():
+                return np.random.Generator()
+        """
+        assert rule_ids(src) == ["rng-generator-ctor"]
+
+    def test_seeded_generator_construction_triggers(self):
+        src = """
+            import numpy as np
+
+            def fresh(seed):
+                return np.random.Generator(np.random.PCG64(seed))
+        """
+        # The hand-built bit generator inside also violates rng-direct-call.
+        assert "rng-generator-ctor" in rule_ids(src)
+
+    def test_annotation_use_is_clean(self):
+        src = """
+            import numpy as np
+
+            def use(rng: np.random.Generator) -> np.random.Generator:
+                return rng
+        """
+        assert rule_ids(src) == []
+
+
+class TestImportLayering:
+    def test_phy_may_never_import_rx(self):
+        src = "from repro.rx.receiver import ColorBarsReceiver\n"
+        assert rule_ids(src, path="src/repro/phy/waveform.py") == ["import-layering"]
+
+    def test_camera_may_never_import_csk(self):
+        src = "import repro.csk.modulator\n"
+        assert rule_ids(src, path="src/repro/camera/sensor.py") == ["import-layering"]
+
+    def test_library_may_not_import_package_root(self):
+        src = "from repro import LinkSimulator\n"
+        assert rule_ids(src, path="src/repro/color/srgb.py") == ["import-layering"]
+
+    def test_rx_may_import_camera(self):
+        src = "from repro.camera.frame import Frame\n"
+        assert rule_ids(src, path="src/repro/rx/preprocess.py") == []
+
+    def test_relative_import_resolved_against_package(self):
+        src = "from ..rx import receiver\n"
+        assert rule_ids(src, path="src/repro/phy/pwm.py") == ["import-layering"]
+
+    def test_relative_sibling_import_is_clean(self):
+        src = "from . import symbols\n"
+        assert rule_ids(src, path="src/repro/phy/waveform.py") == []
+
+    def test_app_shell_may_import_anything(self):
+        src = """
+            from repro.link.simulator import LinkSimulator
+            from repro.tooling import lint_tree
+        """
+        assert rule_ids(src, path="src/repro/cli.py") == []
+
+
+class TestBareExcept:
+    def test_bare_except_triggers(self):
+        src = """
+            def guarded(fn):
+                try:
+                    return fn()
+                except:
+                    return None
+        """
+        assert rule_ids(src) == ["bare-except"]
+
+    def test_typed_except_is_clean(self):
+        src = """
+            from repro.exceptions import ColorBarsError
+
+            def guarded(fn):
+                try:
+                    return fn()
+                except ColorBarsError:
+                    return None
+        """
+        assert rule_ids(src) == []
+
+
+class TestRawRaise:
+    @pytest.mark.parametrize("exc", ["ValueError", "RuntimeError", "Exception"])
+    def test_raw_builtin_raise_triggers(self, exc):
+        src = f"""
+            def check(x):
+                if x < 0:
+                    raise {exc}("negative")
+        """
+        assert rule_ids(src) == ["raw-raise"]
+
+    def test_bare_name_raise_triggers(self):
+        src = """
+            def check(x):
+                raise ValueError
+        """
+        assert rule_ids(src) == ["raw-raise"]
+
+    def test_colorbars_error_is_clean(self):
+        src = """
+            from repro.exceptions import CameraError
+
+            def check(x):
+                if x < 0:
+                    raise CameraError(f"negative: {x}")
+        """
+        assert rule_ids(src) == []
+
+    def test_reraise_is_clean(self):
+        src = """
+            def check(fn):
+                try:
+                    return fn()
+                except KeyError:
+                    raise
+        """
+        assert rule_ids(src) == []
+
+    def test_app_shell_is_exempt(self):
+        src = """
+            def main():
+                raise ValueError("cli may be blunt")
+        """
+        assert rule_ids(src, path="src/repro/cli.py") == []
+
+
+class TestMutableDefault:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "set()", "list()", "dict()", "[1, 2]"]
+    )
+    def test_mutable_default_triggers(self, default):
+        src = f"""
+            def collect(items={default}):
+                return items
+        """
+        assert rule_ids(src) == ["mutable-default"]
+
+    def test_kwonly_mutable_default_triggers(self):
+        src = """
+            def collect(*, items=[]):
+                return items
+        """
+        assert rule_ids(src) == ["mutable-default"]
+
+    def test_none_and_tuple_defaults_are_clean(self):
+        src = """
+            def collect(items=None, pair=(1, 2), label="x"):
+                return items, pair, label
+        """
+        assert rule_ids(src) == []
+
+
+class TestNoPrint:
+    def test_print_in_library_triggers(self):
+        src = """
+            def debug(x):
+                print(x)
+        """
+        assert rule_ids(src) == ["no-print"]
+
+    def test_print_in_cli_is_clean(self):
+        src = """
+            def report(x):
+                print(x)
+        """
+        assert rule_ids(src, path="src/repro/cli.py") == []
+
+    def test_print_in_docstring_is_clean(self):
+        src = '''
+            def quickstart():
+                """Example::
+
+                    print(result.metrics.summary())
+                """
+                return None
+        '''
+        assert rule_ids(src) == []
+
+
+class TestPragmas:
+    def test_disable_pragma_suppresses_named_rule(self):
+        src = """
+            def debug(x):
+                print(x)  # reprolint: disable=no-print
+        """
+        assert rule_ids(src) == []
+
+    def test_disable_all_suppresses_everything(self):
+        src = """
+            def debug(x):
+                print(x)  # reprolint: disable=all
+        """
+        assert rule_ids(src) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        src = """
+            def debug(x):
+                print(x)  # reprolint: disable=bare-except
+        """
+        assert rule_ids(src) == ["no-print"]
+
+    def test_pragma_only_covers_its_own_line(self):
+        src = """
+            # reprolint: disable=no-print
+            def debug(x):
+                print(x)
+        """
+        assert rule_ids(src) == ["no-print"]
+
+    def test_pragma_with_multiple_rules(self):
+        src = """
+            import numpy as np
+
+            def debug(x):
+                print(np.random.normal())  # reprolint: disable=no-print,rng-direct-call
+        """
+        assert rule_ids(src) == []
+
+
+class TestSyntaxError:
+    def test_unparseable_source_reports_syntax_error(self):
+        findings = lint_source("def broken(:\n", path=LIB_PATH)
+        assert [f.rule_id for f in findings] == ["syntax-error"]

@@ -1,0 +1,210 @@
+"""End-to-end runner + CLI tests against an on-disk fixture tree.
+
+The fixture tree contains exactly one violation of every rule, laid out as a
+miniature ``repro`` package so layer resolution works from paths alone.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ToolingError
+from repro.tooling import ALL_RULES, format_report, get_rules, lint_file, lint_tree
+
+#: rule id -> (relative path inside the fixture package, offending source)
+VIOLATIONS = {
+    "rng-direct-call": (
+        "camera/jitter.py",
+        """
+        import numpy as np
+
+        def jitter(seed=None):
+            return np.random.default_rng(seed)
+        """,
+    ),
+    "rng-generator-ctor": (
+        "camera/fresh.py",
+        """
+        import numpy as np
+
+        def fresh():
+            return np.random.Generator()
+        """,
+    ),
+    "import-layering": (
+        "phy/backdoor.py",
+        """
+        from repro.rx.receiver import ColorBarsReceiver
+        """,
+    ),
+    "bare-except": (
+        "util/swallow.py",
+        """
+        def swallow(fn):
+            try:
+                return fn()
+            except:
+                return None
+        """,
+    ),
+    "raw-raise": (
+        "color/check.py",
+        """
+        def check(x):
+            if x < 0:
+                raise ValueError("negative")
+        """,
+    ),
+    "mutable-default": (
+        "link/collect.py",
+        """
+        def collect(items=[]):
+            return items
+        """,
+    ),
+    "no-print": (
+        "rx/debug.py",
+        """
+        def debug(x):
+            print(x)
+        """,
+    ),
+}
+
+
+@pytest.fixture
+def violation_tree(tmp_path):
+    """A miniature ``repro`` package with one violation of every rule."""
+    root = tmp_path / "repro"
+    for rel_path, source in VIOLATIONS.values():
+        target = root / rel_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        (target.parent / "__init__.py").write_text("")
+        target.write_text(textwrap.dedent(source))
+    (root / "__init__.py").write_text("")
+    return root
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    root = tmp_path / "repro"
+    (root / "util").mkdir(parents=True)
+    (root / "__init__.py").write_text("")
+    (root / "util" / "__init__.py").write_text("")
+    (root / "util" / "clean.py").write_text(
+        textwrap.dedent(
+            """
+            from repro.exceptions import ConfigurationError
+
+            def check(x):
+                if x < 0:
+                    raise ConfigurationError(f"negative: {x}")
+                return x
+            """
+        )
+    )
+    return root
+
+
+class TestLintTree:
+    def test_catches_one_violation_per_rule(self, violation_tree):
+        report = lint_tree(violation_tree)
+        assert not report.clean
+        assert sorted(f.rule_id for f in report.findings) == sorted(VIOLATIONS)
+
+    def test_findings_carry_real_locations(self, violation_tree):
+        report = lint_tree(violation_tree)
+        by_rule = {f.rule_id: f for f in report.findings}
+        finding = by_rule["rng-direct-call"]
+        assert finding.path.endswith("camera/jitter.py")
+        assert finding.line == 5
+        assert "make_rng" in finding.message
+
+    def test_report_line_format(self, violation_tree):
+        report = lint_tree(violation_tree)
+        for line in report.format().splitlines()[:-1]:
+            path, rest = line.split(":", 1)
+            lineno, rule_id, message = rest.split(" ", 2)
+            assert path.endswith(".py")
+            assert int(lineno) > 0
+            assert rule_id in VIOLATIONS
+            assert message
+
+    def test_clean_tree_is_clean(self, clean_tree):
+        report = lint_tree(clean_tree)
+        assert report.clean
+        assert report.files_checked == 3
+        assert "no violations" in report.format()
+
+    def test_rule_subset_only_runs_requested_rules(self, violation_tree):
+        report = lint_tree(violation_tree, rules=get_rules(["no-print"]))
+        assert [f.rule_id for f in report.findings] == ["no-print"]
+
+    def test_missing_target_raises(self, tmp_path):
+        with pytest.raises(ToolingError, match="does not exist"):
+            lint_tree(tmp_path / "ghost")
+
+    def test_single_file_target(self, violation_tree):
+        findings = lint_file(violation_tree / "rx" / "debug.py")
+        assert [f.rule_id for f in findings] == ["no-print"]
+
+
+class TestGetRules:
+    def test_default_is_all_rules(self):
+        assert get_rules() == ALL_RULES
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ToolingError, match="unknown reprolint rule"):
+            get_rules(["no-print", "no-such-rule"])
+
+
+class TestCliLint:
+    def test_lint_violation_tree_exits_nonzero(self, violation_tree, capsys):
+        code = main(["lint", str(violation_tree)])
+        assert code == 1
+        out = capsys.readouterr().out
+        for rule_id in VIOLATIONS:
+            assert rule_id in out
+        assert f"{len(VIOLATIONS)} violations" in out
+
+    def test_lint_clean_tree_exits_zero(self, clean_tree, capsys):
+        code = main(["lint", str(clean_tree)])
+        assert code == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_lint_defaults_to_installed_package(self, capsys):
+        # The repo's own tree must stay violation-free (see test_lint_clean).
+        code = main(["lint"])
+        assert code == 0
+
+    def test_list_rules(self, capsys):
+        code = main(["lint", "--list-rules"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.rule_id in out
+
+    def test_rule_filter_flag(self, violation_tree, capsys):
+        code = main(["lint", "--rules", "bare-except", str(violation_tree)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "bare-except" in out
+        assert "no-print" not in out
+
+    def test_unknown_rule_exits_2_with_message(self, capsys):
+        code = main(["lint", "--rules", "no-such-rule"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown reprolint rule" in err
+        assert "no-such-rule" in err
+
+    def test_missing_target_exits_2_with_message(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path / "ghost")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestFormatReport:
+    def test_empty_report_mentions_file_count(self):
+        assert format_report([], 7) == "reprolint: 7 files checked, no violations"
