@@ -21,7 +21,17 @@ from repro.core.config import SystemConfig
 from repro.core.metrics import LinkMetrics
 from repro.core.system import ColorBarsTransmitter, make_receiver
 from repro.csk.constellation import Constellation, design_constellation
-from repro.exceptions import ColorBarsError
+from repro.exceptions import ColorBarsError, FrameFailure
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    FrameDropInjector,
+    OcclusionInjector,
+    SaturationInjector,
+    ScanlineCorruptionInjector,
+    TimingJitterInjector,
+    make_injector,
+)
 from repro.fec.reed_solomon import ReedSolomonCodec, rs_params_for_loss
 from repro.flicker.threshold import FlickerModel
 from repro.link.channel import ChannelConditions
@@ -43,6 +53,15 @@ __all__ = [
     "Constellation",
     "design_constellation",
     "ColorBarsError",
+    "FrameFailure",
+    "FaultInjector",
+    "FaultSchedule",
+    "FrameDropInjector",
+    "OcclusionInjector",
+    "SaturationInjector",
+    "ScanlineCorruptionInjector",
+    "TimingJitterInjector",
+    "make_injector",
     "ReedSolomonCodec",
     "rs_params_for_loss",
     "FlickerModel",

@@ -16,7 +16,8 @@ from typing import List, Optional
 
 from repro.camera.devices import DeviceProfile, generic_device, iphone_5s, nexus_5
 from repro.core.config import SystemConfig
-from repro.exceptions import ToolingError
+from repro.exceptions import FaultInjectionError, ToolingError
+from repro.faults import FAULT_REGISTRY, parse_fault_specs
 from repro.link.simulator import LinkSimulator
 from repro.link.workloads import text_payload
 from repro.tooling import ALL_RULES, format_report, get_rules, lint_tree
@@ -49,9 +50,15 @@ def _config(args: argparse.Namespace, device: DeviceProfile) -> SystemConfig:
 def cmd_run(args: argparse.Namespace) -> int:
     device = _device(args.device)
     config = _config(args, device)
+    try:
+        faults = parse_fault_specs(getattr(args, "fault", None))
+    except FaultInjectionError as exc:
+        raise SystemExit(f"colorbars: bad --fault: {exc}")
     print(f"device : {device.name}")
     print(f"config : {config.describe()}")
-    simulator = LinkSimulator(config, device, seed=args.seed)
+    if faults:
+        print("faults : " + ", ".join(f"{f.name}:{f.intensity:g}" for f in faults))
+    simulator = LinkSimulator(config, device, seed=args.seed, faults=faults)
     payload = (
         args.message.encode("utf-8")
         if args.message
@@ -61,6 +68,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     payload = payload + bytes((-len(payload)) % k)
     result = simulator.run(payload=payload, duration_s=args.duration)
     print(f"result : {result.metrics.summary()}")
+    if faults:
+        print(f"injected: {result.fault_schedule.summary()}")
+        report = result.report
+        contained = report.fec_failures_by_reason()
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(contained.items()))
+        print(
+            f"survived: {report.frames_processed} frames processed, "
+            f"{report.frames_failed} contained frame failures"
+            + (f"; fec failures: {detail}" if detail else "")
+        )
     recovered = result.recovered_broadcast()
     if recovered is not None:
         print(f"payload: fully recovered ({len(recovered)} bytes)")
@@ -153,10 +170,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--rate", type=float, default=2000.0, help="symbols per second")
         p.add_argument("--seed", type=int, default=0)
 
-    run_p = sub.add_parser("run", help="run one end-to-end link")
+    run_p = sub.add_parser(
+        "run",
+        aliases=["simulate"],
+        help="run one end-to-end link (optionally with injected faults)",
+    )
     common(run_p)
     run_p.add_argument("--duration", type=float, default=2.0, help="recording seconds")
     run_p.add_argument("--message", default=None, help="UTF-8 payload to broadcast")
+    run_p.add_argument(
+        "--fault",
+        action="append",
+        metavar="NAME:INTENSITY",
+        help="inject a fault (repeatable); names: "
+        + ", ".join(sorted(FAULT_REGISTRY)),
+    )
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="sweep CSK orders x symbol rates")

@@ -195,6 +195,34 @@ class CalibrationTable:
         self._references[unseen] = predicted
         self._extrapolated[unseen] = True
 
+    def affine_residual(
+        self, indices: Sequence[int], symbol_chroma: np.ndarray
+    ) -> Optional[float]:
+        """RMS misfit (ΔE) of a calibration event against the affine model.
+
+        A genuine calibration packet carries the constellation's xy targets
+        pushed through the camera — approximately the affine map
+        :meth:`_extrapolate_missing` fits — so its received chroma fits
+        ``ab = A @ xy + b`` to within channel noise.  Colors that were
+        misframed as a calibration packet (a damaged data preamble matching
+        the calibration skeleton) sit at the wrong indices and fit badly,
+        which makes the residual a credibility score.  Returns ``None``
+        when fewer than :data:`MIN_SEEN_FOR_EXTRAPOLATION` symbols
+        survived: the 6-parameter fit would be underdetermined.
+        """
+        if len(indices) < self.MIN_SEEN_FOR_EXTRAPOLATION:
+            return None
+        chroma = np.asarray(symbol_chroma, dtype=float)
+        if chroma.shape != (len(indices), 2):
+            raise CalibrationError(
+                f"expected chroma shape {(len(indices), 2)}, got {chroma.shape}"
+            )
+        xy = self.constellation.as_array()[list(indices)]
+        design = np.hstack([xy, np.ones((len(indices), 1))])
+        coeffs, *_ = np.linalg.lstsq(design, chroma, rcond=None)
+        residual = chroma - design @ coeffs
+        return float(np.sqrt(np.mean(np.sum(residual**2, axis=1))))
+
     def match(self, chroma: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Nearest reference for each chroma sample.
 

@@ -8,6 +8,8 @@ violated and with which values.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 
 class ColorBarsError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -79,6 +81,26 @@ class CalibrationError(ColorBarsError):
 
 class LinkError(ColorBarsError):
     """End-to-end link simulation failed to produce a usable result."""
+
+
+class FaultInjectionError(ColorBarsError):
+    """A fault injector was misconfigured (bad spec, intensity out of range)."""
+
+
+@dataclass(frozen=True)
+class FrameFailure:
+    """One contained per-frame receive failure (the graceful-degradation record).
+
+    The receiver never lets a :class:`ColorBarsError` from one frame abort a
+    session; instead the frame becomes a full-gap erasure and this record —
+    which frame, which pipeline stage, which exception — lands on the
+    :class:`~repro.rx.receiver.ReceiverReport`.
+    """
+
+    frame_index: int
+    stage: str
+    error_type: str
+    message: str
 
 
 class ToolingError(ColorBarsError):

@@ -1,0 +1,147 @@
+"""Fault-injection contract: injector protocol, schedule, intensity rules.
+
+Injectors wrap the simulated recording between camera and receiver: each one
+consumes a list of :class:`~repro.camera.frame.CapturedFrame` and returns a
+(possibly shorter, possibly perturbed) list, recording exactly what it did in
+a :class:`FaultSchedule` — the ground truth the robustness tests assert
+against.
+
+Two contract rules make fault sweeps meaningful:
+
+* **Zero is a no-op.**  ``inject`` at ``intensity == 0.0`` returns the input
+  frames unchanged, so a zero-intensity run is byte-identical to a no-fault
+  run.
+* **Common random numbers.**  An injector draws a *fixed* per-frame random
+  budget that does not depend on its intensity, then scales the damage
+  deterministically.  Two runs that differ only in intensity therefore
+  damage the same frames at the same places, just harder — which is what
+  makes the resilience matrix's monotonic-degradation assertion structural
+  rather than statistical.
+
+All randomness flows through generators built by :mod:`repro.util.rng`
+(``make_rng``/``derive_rng``); injectors never touch ``np.random`` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.camera.frame import CapturedFrame
+from repro.exceptions import FaultInjectionError
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One recorded act of injected damage.
+
+    ``magnitude`` is injector-specific (rows corrupted, gain applied, seconds
+    of drift...); ``detail`` is a human-readable description of the same.
+    """
+
+    injector: str
+    frame_index: int
+    magnitude: float
+    detail: str
+
+
+@dataclass
+class FaultSchedule:
+    """Ground-truth log of everything every injector did to a recording."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def record(
+        self, injector: str, frame_index: int, magnitude: float, detail: str
+    ) -> None:
+        self.events.append(
+            FaultEvent(
+                injector=injector,
+                frame_index=frame_index,
+                magnitude=magnitude,
+                detail=detail,
+            )
+        )
+
+    def events_for(self, injector: str) -> List[FaultEvent]:
+        return [e for e in self.events if e.injector == injector]
+
+    def frames_affected(self, injector: Optional[str] = None) -> List[int]:
+        """Sorted distinct frame indices touched (optionally by one injector)."""
+        return sorted(
+            {
+                e.frame_index
+                for e in self.events
+                if injector is None or e.injector == injector
+            }
+        )
+
+    def counts_by_injector(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.injector] = counts.get(event.injector, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def summary(self) -> str:
+        if not self.events:
+            return "no faults injected"
+        parts = [
+            f"{name}={count}" for name, count in sorted(self.counts_by_injector().items())
+        ]
+        return (
+            f"{len(self.events)} fault events over "
+            f"{len(self.frames_affected())} frames ({', '.join(parts)})"
+        )
+
+
+def validate_intensity(intensity: float, name: str) -> float:
+    """Intensity knobs live in [0, 1]; anything else is a configuration bug."""
+    value = float(intensity)
+    if not np.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise FaultInjectionError(
+            f"{name} intensity must be in [0, 1], got {intensity!r}"
+        )
+    return value
+
+
+class FaultInjector:
+    """Base class every injector extends.
+
+    Subclasses set ``name`` and implement :meth:`_apply`; the public
+    :meth:`inject` enforces the zero-is-a-no-op contract so subclasses never
+    need to special-case it.
+    """
+
+    name: str = ""
+
+    def __init__(self, intensity: float) -> None:
+        self.intensity = validate_intensity(intensity, type(self).__name__)
+
+    def inject(
+        self,
+        frames: Sequence[CapturedFrame],
+        rng: np.random.Generator,
+        schedule: FaultSchedule,
+    ) -> List[CapturedFrame]:
+        """Apply this fault to a recording; record ground truth in ``schedule``."""
+        if self.intensity == 0.0:
+            return list(frames)
+        return self._apply(list(frames), rng, schedule)
+
+    def _apply(
+        self,
+        frames: List[CapturedFrame],
+        rng: np.random.Generator,
+        schedule: FaultSchedule,
+    ) -> List[CapturedFrame]:
+        raise FaultInjectionError(
+            f"{type(self).__name__} does not implement _apply"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(intensity={self.intensity})"

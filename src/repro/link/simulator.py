@@ -22,10 +22,12 @@ from repro.core.metrics import (
 )
 from repro.core.system import ColorBarsTransmitter, TransmissionPlan, make_receiver
 from repro.exceptions import LinkError
+from repro.faults.base import FaultInjector, FaultSchedule
 from repro.link.channel import ChannelConditions
 from repro.link.workloads import text_payload
 from repro.phy.waveform import EXTEND_CYCLE
 from repro.rx.receiver import ReceiverReport
+from repro.util.rng import derive_rng, make_rng
 from repro.util.validation import require_positive
 
 
@@ -39,6 +41,7 @@ class LinkResult:
     report: ReceiverReport
     plan: TransmissionPlan
     matches: List[GroundTruthMatch] = field(default_factory=list)
+    fault_schedule: FaultSchedule = field(default_factory=FaultSchedule)
 
     def delivered_payload(self) -> bytes:
         """Concatenation of every successfully decoded packet payload."""
@@ -54,7 +57,7 @@ class LinkResult:
         block of the cycle was decoded at least once.
         """
         index_of_prefix = {
-            bytes(codeword[: len(codeword) - (len(codeword) - self._k())]): i
+            bytes(codeword[: self._k()]): i
             for i, codeword in enumerate(self.plan.codewords)
         }
         recovered: Dict[int, bytes] = {}
@@ -84,12 +87,16 @@ class LinkSimulator:
         channel: Optional[ChannelConditions] = None,
         simulated_columns: int = 48,
         seed=0,
+        faults: Optional[Sequence[FaultInjector]] = None,
     ) -> None:
         self.config = config
         self.device = device
         self.channel = channel if channel is not None else ChannelConditions.paper_setup()
         self.simulated_columns = simulated_columns
         self.seed = seed
+        #: Fault injectors applied, in order, to each recording before the
+        #: receiver sees it (see :mod:`repro.faults`).
+        self.faults = tuple(faults or ())
 
     def run(
         self,
@@ -121,6 +128,7 @@ class LinkSimulator:
                 f"duration {duration_s}s too short for one frame at "
                 f"{profile.timing.frame_rate} fps"
             )
+        frames, schedule = self._inject_faults(frames)
 
         receiver = make_receiver(self.config, profile.timing)
         report = receiver.process_frames(frames)
@@ -139,7 +147,25 @@ class LinkSimulator:
             report=report,
             plan=plan,
             matches=matches,
+            fault_schedule=schedule,
         )
+
+    def _inject_faults(self, frames) -> tuple:
+        """Run every configured injector over the recording, in order.
+
+        Each injector gets a generator derived from the run seed and its
+        position+name label, so fault randomness is reproducible, independent
+        of the camera's, and — crucially — independent of the injector's
+        intensity (common random numbers across a sweep).
+        """
+        schedule = FaultSchedule()
+        if not self.faults:
+            return frames, schedule
+        fault_root = derive_rng(make_rng(self.seed), "faults")
+        for index, injector in enumerate(self.faults):
+            rng = derive_rng(fault_root, f"fault:{index}:{injector.name}")
+            frames = injector.inject(frames, rng, schedule)
+        return frames, schedule
 
 
 def sweep(

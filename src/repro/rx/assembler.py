@@ -98,6 +98,15 @@ class AssemblerStats:
     calibration_packets_dropped: int = 0
     symbols_consumed: int = 0
     symbols_lost_in_gaps: int = 0
+    gaps_inserted: int = 0
+    max_gap_symbols: int = 0
+
+    def reset_stream_counters(self) -> None:
+        """Zero the per-pass stitching counters (kept across extract calls)."""
+        self.symbols_consumed = 0
+        self.symbols_lost_in_gaps = 0
+        self.gaps_inserted = 0
+        self.max_gap_symbols = 0
 
 
 class PacketAssembler:
@@ -133,6 +142,10 @@ class PacketAssembler:
                     if missing > 0:
                         items.append(StreamItem(band=None, lost=missing))
                         self.stats.symbols_lost_in_gaps += missing
+                        self.stats.gaps_inserted += 1
+                        self.stats.max_gap_symbols = max(
+                            self.stats.max_gap_symbols, missing
+                        )
                 items.append(StreamItem(band=band))
                 previous_band = band
         self.stats.symbols_consumed += sum(1 for i in items if not i.is_gap)
@@ -252,6 +265,12 @@ class PacketAssembler:
             item = items[position]
             position += 1
             if item.is_gap:
+                continue
+            if item.band.decision.kind is DecisionKind.OFF:
+                # Calibration symbols are constellation colors — all lit.  A
+                # dark band here is a corrupted slot (occlusion, torn rows),
+                # and absorbing its chroma would poison the calibration
+                # table for the whole session; skip it like a gap.
                 continue
             slot = self._timed_slot(anchor_time, item.band.mid_time)
             if slot >= order:

@@ -13,16 +13,52 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.camera.frame import CapturedFrame
+from repro.color.cielab import JND_DELTA_E
 from repro.csk.calibration import CalibrationTable
 from repro.csk.demodulator import CskDemodulator
-from repro.exceptions import UncorrectableBlockError
+from repro.exceptions import ColorBarsError, FrameFailure, UncorrectableBlockError
 from repro.fec.reed_solomon import ReedSolomonCodec
 from repro.packet.packetizer import Packetizer
-from repro.rx.assembler import PacketAssembler, ReceivedPacket
+from repro.rx.assembler import CalibrationEvent, PacketAssembler, ReceivedPacket
 from repro.rx.detector import ReceivedBand, SymbolDetector
 from repro.rx.preprocess import frame_to_scanline_lab
 from repro.rx.segmentation import BandSegmenter
+
+
+#: Reasons a packet can fail FEC, as recorded in :class:`FecFailure`.
+FEC_HEADER_MISMATCH = "header-mismatch"
+FEC_ERASURE_BUDGET = "erasure-budget"
+FEC_UNCORRECTABLE = "uncorrectable"
+
+#: Calibration credibility gates (see ``_credible_calibration``).  A genuine
+#: calibration body is all saturated constellation colors, so a symbol chroma
+#: within this distance of the packet's own white reference marks a misframed
+#: data packet (whose body is mostly illumination whites).
+CALIBRATION_WHITE_GUARD_DELTA_E = 4.0 * JND_DELTA_E
+#: Largest affine-fit RMS misfit a credible calibration event may have.
+#: Measured genuine events fit within ~9 JND across devices and CSK orders,
+#: while misframed data bodies land beyond ~25 JND.
+CALIBRATION_RESIDUAL_LIMIT_DELTA_E = 15.0 * JND_DELTA_E
+
+
+@dataclass(frozen=True)
+class FecFailure:
+    """Why one seen packet failed to decode.
+
+    Retains the detail the aggregate ``packets_failed_fec`` counter loses:
+    a resilience sweep needs to distinguish erasure-budget exhaustion (too
+    much known loss — more parity or less damage would fix it) from
+    miscorrection (``uncorrectable``: noise beyond the code's capability).
+    """
+
+    first_frame: int
+    reason: str
+    erasures: int
+    parity_budget: int
+    message: str = ""
 
 
 @dataclass
@@ -31,7 +67,9 @@ class ReceiverReport:
 
     ``payloads`` holds the k-byte payload of every successfully decoded
     packet, in arrival order.  The symbol/packet counters feed the SER,
-    throughput and goodput metrics of §8.
+    throughput and goodput metrics of §8.  ``frame_failures`` lists every
+    frame whose pipeline raised and was contained (the session-never-dies
+    contract); ``fec_failures`` retains why each failed packet failed.
     """
 
     payloads: List[bytes] = field(default_factory=list)
@@ -39,14 +77,28 @@ class ReceiverReport:
     packets_failed_fec: int = 0
     packets_seen: int = 0
     calibration_updates: int = 0
+    calibration_rejected: int = 0
     bands: List[ReceivedBand] = field(default_factory=list)
     frames_processed: int = 0
     symbols_detected: int = 0
     symbols_lost_in_gaps: int = 0
+    frame_failures: List[FrameFailure] = field(default_factory=list)
+    fec_failures: List[FecFailure] = field(default_factory=list)
 
     @property
     def payload_bytes(self) -> int:
         return sum(len(p) for p in self.payloads)
+
+    @property
+    def frames_failed(self) -> int:
+        return len(self.frame_failures)
+
+    def fec_failures_by_reason(self) -> dict:
+        """``{reason: count}`` over every recorded FEC failure."""
+        counts: dict = {}
+        for failure in self.fec_failures:
+            counts[failure.reason] = counts.get(failure.reason, 0) + 1
+        return counts
 
 
 class ColorBarsReceiver:
@@ -119,7 +171,9 @@ class ColorBarsReceiver:
                 report.frames_processed = len(frames)
                 return report
 
-        per_frame_bands = [self._detect_frame(frame) for frame in frames]
+        per_frame_bands = [
+            self._detect_frame(frame, report.frame_failures) for frame in frames
+        ]
         report.frames_processed = len(frames)
         for bands in per_frame_bands:
             report.bands.extend(bands)
@@ -129,11 +183,7 @@ class ColorBarsReceiver:
         packets, calibrations = self.assembler.extract(items)
         report.symbols_lost_in_gaps = self.assembler.stats.symbols_lost_in_gaps
 
-        for event in calibrations:
-            self.calibration.update_partial(
-                event.indices, event.symbol_chroma, event.white_chroma
-            )
-            report.calibration_updates += 1
+        self._absorb_calibrations(calibrations, report)
 
         for packet in packets:
             report.packets_seen += 1
@@ -142,17 +192,46 @@ class ColorBarsReceiver:
 
     # -- internals -------------------------------------------------------
 
-    def _detect_frame(self, frame: CapturedFrame) -> List[ReceivedBand]:
-        scanlines = frame_to_scanline_lab(frame)
-        # Scanlines whose exposure window straddles a symbol boundary carry
-        # mixed colors; the segmenter excludes that many rows per band.
-        smear_rows = frame.exposure.exposure_s / frame.row_period
-        bands = self.segmenter.segment(scanlines, smear_rows=smear_rows)
-        if self.equalize and bands:
-            from repro.rx.equalizer import deconvolve_frame
+    def _detect_frame(
+        self,
+        frame: CapturedFrame,
+        failures: Optional[List[FrameFailure]] = None,
+    ) -> List[ReceivedBand]:
+        """One frame through preprocess -> segment -> detect, with containment.
 
-            bands = deconvolve_frame(frame, bands, smear_rows)
-        return self.detector.detect(frame, bands)
+        Any :class:`ColorBarsError` a stage raises is converted into a
+        :class:`FrameFailure` on ``failures`` (when given) and the frame
+        yields no bands — downstream, the assembler's timing-based stitching
+        then treats it exactly like a full inter-frame gap, so one bad frame
+        can never abort the session.
+        """
+        stage = "preprocess"
+        try:
+            scanlines = frame_to_scanline_lab(frame)
+            # Scanlines whose exposure window straddles a symbol boundary
+            # carry mixed colors; the segmenter excludes that many rows per
+            # band.
+            smear_rows = frame.exposure.exposure_s / frame.row_period
+            stage = "segment"
+            bands = self.segmenter.segment(scanlines, smear_rows=smear_rows)
+            if self.equalize and bands:
+                from repro.rx.equalizer import deconvolve_frame
+
+                stage = "equalize"
+                bands = deconvolve_frame(frame, bands, smear_rows)
+            stage = "detect"
+            return self.detector.detect(frame, bands)
+        except ColorBarsError as exc:
+            if failures is not None:
+                failures.append(
+                    FrameFailure(
+                        frame_index=frame.index,
+                        stage=stage,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                    )
+                )
+            return []
 
     def _bootstrap_calibration(
         self, frames: Sequence[CapturedFrame], report: ReceiverReport
@@ -161,32 +240,86 @@ class ColorBarsReceiver:
         per_frame_bands = [self._detect_frame(frame) for frame in frames]
         items = self.assembler.stitch(per_frame_bands)
         _, calibrations = self.assembler.extract(items)
-        for event in calibrations:
+        self._absorb_calibrations(calibrations, report)
+        # Reset assembler counters: the decode pass recounts from scratch.
+        self.assembler.stats.reset_stream_counters()
+
+    def _absorb_calibrations(
+        self, events: Sequence[CalibrationEvent], report: ReceiverReport
+    ) -> None:
+        """Fold credible calibration events into the table, count the rest."""
+        for event in events:
+            if not self._credible_calibration(event):
+                report.calibration_rejected += 1
+                continue
             self.calibration.update_partial(
                 event.indices, event.symbol_chroma, event.white_chroma
             )
             report.calibration_updates += 1
-        # Reset assembler counters: the decode pass recounts from scratch.
-        self.assembler.stats.symbols_lost_in_gaps = 0
-        self.assembler.stats.symbols_consumed = 0
+
+    def _credible_calibration(self, event: CalibrationEvent) -> bool:
+        """Gate a calibration event before it can poison the table.
+
+        Localized damage (occlusion, torn scanlines) can darken one band of
+        a data preamble, mutating its OFF skeleton into the calibration
+        skeleton — the data body then arrives here disguised as calibration
+        colors, and absorbing it would corrupt every reference for the rest
+        of the session.  Two physical checks expose the disguise: a genuine
+        body never contains white-like chroma, and its colors must fit the
+        affine chromaticity model the table itself extrapolates with.
+        """
+        if event.white_chroma is not None and len(event.indices) > 0:
+            white_gap = np.sqrt(
+                np.sum(
+                    (event.symbol_chroma - event.white_chroma) ** 2, axis=1
+                )
+            )
+            if bool(np.any(white_gap < CALIBRATION_WHITE_GUARD_DELTA_E)):
+                return False
+        residual = self.calibration.affine_residual(
+            event.indices, event.symbol_chroma
+        )
+        return residual is None or residual <= CALIBRATION_RESIDUAL_LIMIT_DELTA_E
 
     def _decode_packet(
         self, packet: ReceivedPacket, report: ReceiverReport
     ) -> None:
         expected_n = self.codec.n
+        parity = self.codec.num_parity
+
+        def fail(reason: str, erasure_count: int, message: str = "") -> None:
+            report.packets_failed_fec += 1
+            report.fec_failures.append(
+                FecFailure(
+                    first_frame=packet.first_frame,
+                    reason=reason,
+                    erasures=erasure_count,
+                    parity_budget=parity,
+                    message=message,
+                )
+            )
+
         if packet.header_bytes != expected_n:
             # Header advertises a codeword the shared config does not use:
             # treat as a corrupt header (paper: discard the packet).
-            report.packets_failed_fec += 1
+            fail(
+                FEC_HEADER_MISMATCH,
+                len(packet.erasure_positions),
+                f"header advertises n={packet.header_bytes}, codec n={expected_n}",
+            )
             return
         erasures = [p for p in packet.erasure_positions if p < expected_n]
-        if len(erasures) > self.codec.num_parity:
-            report.packets_failed_fec += 1
+        if len(erasures) > parity:
+            fail(
+                FEC_ERASURE_BUDGET,
+                len(erasures),
+                f"{len(erasures)} erasures exceed parity budget {parity}",
+            )
             return
         try:
             payload = self.codec.decode(packet.codeword, erasures)
-        except UncorrectableBlockError:
-            report.packets_failed_fec += 1
+        except UncorrectableBlockError as exc:
+            fail(FEC_UNCORRECTABLE, len(erasures), str(exc))
             return
         report.payloads.append(payload)
         report.packets_decoded += 1

@@ -5,8 +5,11 @@ is computed (and the graph checked for cycles) at import time.  The intended
 architecture is a strict bottom-up chain through the optical pipeline::
 
     exceptions -> util -> color -> phy -> {csk, fec, camera}
-        -> {packet, flicker, video} -> rx -> core -> link
+        -> {packet, flicker, video, faults} -> rx -> core -> link
         -> {analysis, baselines}
+
+(``faults`` sits between ``camera`` and ``link``: injectors transform
+captured frames, and only the link layer composes them into runs)
 
 with ``tooling`` off to the side (it may only see ``util``/``exceptions``)
 and the application shell (``cli``, ``__main__``, the package root) allowed
@@ -42,9 +45,10 @@ LAYER_DEPS: Dict[str, FrozenSet[str]] = {
     "packet": frozenset({"csk"}),
     "flicker": frozenset({"csk"}),
     "video": frozenset({"camera"}),
+    "faults": frozenset({"camera"}),
     "rx": frozenset({"video", "packet", "fec"}),
     "core": frozenset({"rx", "flicker"}),
-    "link": frozenset({"core"}),
+    "link": frozenset({"core", "faults"}),
     "analysis": frozenset({"link"}),
     "baselines": frozenset({"rx"}),
     "tooling": frozenset({"util"}),

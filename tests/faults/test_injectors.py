@@ -1,0 +1,262 @@
+"""Unit tests for the fault injectors against synthetic frame stacks.
+
+The FaultSchedule each injector writes is asserted against the actual frame
+damage, making the schedule trustworthy ground truth for the link-level
+robustness tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camera.auto_exposure import ExposureSettings
+from repro.camera.frame import CapturedFrame
+from repro.exceptions import FaultInjectionError
+from repro.faults import (
+    FAULT_REGISTRY,
+    FaultSchedule,
+    FrameDropInjector,
+    OcclusionInjector,
+    SaturationInjector,
+    ScanlineCorruptionInjector,
+    TimingJitterInjector,
+    make_injector,
+    parse_fault_spec,
+    parse_fault_specs,
+)
+
+ROWS, COLS = 60, 8
+FRAME_PERIOD = 1 / 30.0
+
+
+def make_frames(count=6, seed=42):
+    rng = np.random.default_rng(seed)
+    frames = []
+    for i in range(count):
+        pixels = rng.integers(10, 240, size=(ROWS, COLS, 3)).astype(np.uint8)
+        frames.append(
+            CapturedFrame(
+                index=i,
+                pixels=pixels,
+                start_time=i * FRAME_PERIOD,
+                row_period=1e-4,
+                exposure=ExposureSettings(exposure_s=1e-3, iso=100.0),
+            )
+        )
+    return frames
+
+
+@pytest.fixture
+def frames():
+    return make_frames()
+
+
+ALL_INJECTOR_CLASSES = sorted(FAULT_REGISTRY.values(), key=lambda c: c.name)
+
+
+class TestContract:
+    @pytest.mark.parametrize("cls", ALL_INJECTOR_CLASSES)
+    def test_zero_intensity_is_identity(self, cls, frames):
+        schedule = FaultSchedule()
+        out = cls(0.0).inject(frames, np.random.default_rng(0), schedule)
+        assert out == frames  # same frame objects, untouched
+        assert len(schedule) == 0
+
+    @pytest.mark.parametrize("cls", ALL_INJECTOR_CLASSES)
+    def test_deterministic_given_rng_seed(self, cls, frames):
+        def run():
+            schedule = FaultSchedule()
+            out = cls(0.7).inject(frames, np.random.default_rng(123), schedule)
+            return schedule.events, [f.start_time for f in out], len(out)
+
+        assert run() == run()
+
+    @pytest.mark.parametrize("cls", ALL_INJECTOR_CLASSES)
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, float("nan"), float("inf")])
+    def test_intensity_out_of_range_rejected(self, cls, bad):
+        with pytest.raises(FaultInjectionError):
+            cls(bad)
+
+    @pytest.mark.parametrize("cls", ALL_INJECTOR_CLASSES)
+    def test_input_frames_never_mutated(self, cls, frames):
+        originals = [f.pixels.copy() for f in frames]
+        times = [f.start_time for f in frames]
+        cls(1.0).inject(frames, np.random.default_rng(5), FaultSchedule())
+        for frame, pixels, start in zip(frames, originals, times):
+            assert np.array_equal(frame.pixels, pixels)
+            assert frame.start_time == start
+
+
+class TestFrameDrop:
+    def test_schedule_matches_surviving_frames(self, frames):
+        schedule = FaultSchedule()
+        out = FrameDropInjector(0.5).inject(
+            frames, np.random.default_rng(7), schedule
+        )
+        dropped = schedule.frames_affected("frame-drop")
+        assert dropped  # seed chosen so something drops
+        assert [f.index for f in out] == [
+            f.index for f in frames if f.index not in dropped
+        ]
+
+    def test_higher_intensity_drops_superset(self, frames):
+        def dropped_at(intensity):
+            schedule = FaultSchedule()
+            FrameDropInjector(intensity).inject(
+                frames, np.random.default_rng(7), schedule
+            )
+            return set(schedule.frames_affected())
+
+        low, high = dropped_at(0.2), dropped_at(0.8)
+        assert low <= high  # common random numbers: damage only grows
+
+    def test_full_intensity_drops_everything(self, frames):
+        out = FrameDropInjector(1.0).inject(
+            frames, np.random.default_rng(0), FaultSchedule()
+        )
+        assert out == []
+
+
+class TestScanlineCorruption:
+    def test_burst_confined_to_recorded_rows(self, frames):
+        schedule = FaultSchedule()
+        out = ScanlineCorruptionInjector(0.6).inject(
+            frames, np.random.default_rng(3), schedule
+        )
+        events = {e.frame_index: e for e in schedule.events}
+        assert events
+        for before, after in zip(frames, out):
+            changed = np.flatnonzero(
+                np.any(before.pixels != after.pixels, axis=(1, 2))
+            )
+            if before.index not in events:
+                assert changed.size == 0
+                continue
+            burst = int(events[before.index].magnitude)
+            assert changed.size > 0
+            assert changed.max() - changed.min() + 1 <= burst
+
+    def test_timing_metadata_untouched(self, frames):
+        out = ScanlineCorruptionInjector(1.0).inject(
+            frames, np.random.default_rng(3), FaultSchedule()
+        )
+        assert [f.start_time for f in out] == [f.start_time for f in frames]
+        assert [f.index for f in out] == [f.index for f in frames]
+
+
+class TestOcclusion:
+    def test_blocked_rows_go_dark_and_stay_put(self, frames):
+        schedule = FaultSchedule()
+        out = OcclusionInjector(0.5).inject(
+            frames, np.random.default_rng(11), schedule
+        )
+        assert len(schedule.events) == len(frames)
+        spans = set()
+        for before, after, event in zip(frames, out, schedule.events):
+            dark = np.all(
+                after.pixels == OcclusionInjector.blocked_level, axis=(1, 2)
+            )
+            changed = np.any(before.pixels != after.pixels, axis=(1, 2))
+            assert dark[changed].all()
+            spans.add((int(np.flatnonzero(dark).min()), int(np.flatnonzero(dark).max())))
+        assert len(spans) == 1  # a static occluder: same rows every frame
+
+    def test_cover_grows_with_intensity(self, frames):
+        def covered(intensity):
+            schedule = FaultSchedule()
+            OcclusionInjector(intensity).inject(
+                frames, np.random.default_rng(11), schedule
+            )
+            return schedule.events[0].magnitude
+
+        assert covered(0.2) < covered(0.6) < covered(1.0)
+
+
+class TestSaturation:
+    def test_spiked_frames_are_clipped_scaling(self, frames):
+        schedule = FaultSchedule()
+        out = SaturationInjector(0.6).inject(
+            frames, np.random.default_rng(9), schedule
+        )
+        spiked = set(schedule.frames_affected("saturation"))
+        assert spiked and len(spiked) < len(frames)
+        for before, after in zip(frames, out):
+            if before.index in spiked:
+                expected = np.clip(
+                    before.pixels.astype(np.float64) * SaturationInjector.spike_gain,
+                    0,
+                    255,
+                ).astype(np.uint8)
+                assert np.array_equal(after.pixels, expected)
+            else:
+                assert np.array_equal(after.pixels, before.pixels)
+
+
+class TestTimingJitter:
+    def test_only_timestamps_move(self, frames):
+        schedule = FaultSchedule()
+        out = TimingJitterInjector(1.0).inject(
+            frames, np.random.default_rng(2), schedule
+        )
+        assert len(schedule.events) == len(frames)
+        for before, after, event in zip(frames, out, schedule.events):
+            assert np.array_equal(after.pixels, before.pixels)
+            assert after.start_time == pytest.approx(
+                before.start_time + event.magnitude
+            )
+        assert any(abs(e.magnitude) > 0 for e in schedule.events)
+
+    def test_drift_scales_linearly_with_intensity(self, frames):
+        def drifts(intensity):
+            schedule = FaultSchedule()
+            TimingJitterInjector(intensity).inject(
+                frames, np.random.default_rng(2), schedule
+            )
+            return np.array([e.magnitude for e in schedule.events])
+
+        # Same random walk, scaled: common random numbers across the sweep.
+        assert drifts(1.0) == pytest.approx(2 * drifts(0.5))
+
+
+class TestRegistryAndSpecs:
+    def test_registry_names_round_trip(self):
+        for name in FAULT_REGISTRY:
+            injector = make_injector(name, 0.25)
+            assert injector.name == name
+            assert injector.intensity == 0.25
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault injector"):
+            make_injector("cosmic-rays", 0.5)
+
+    def test_parse_spec(self):
+        injector = parse_fault_spec("frame-drop:0.3")
+        assert isinstance(injector, FrameDropInjector)
+        assert injector.intensity == 0.3
+
+    @pytest.mark.parametrize(
+        "spec", ["frame-drop", "frame-drop:", ":0.3", "frame-drop:lots", "x:2.0"]
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(FaultInjectionError):
+            parse_fault_spec(spec)
+
+    def test_parse_specs_preserves_order(self):
+        injectors = parse_fault_specs(["occlusion:0.1", "saturation:0.2"])
+        assert [i.name for i in injectors] == ["occlusion", "saturation"]
+
+    def test_parse_specs_none_is_empty(self):
+        assert parse_fault_specs(None) == ()
+
+
+class TestSchedule:
+    def test_summary_and_counts(self, frames):
+        schedule = FaultSchedule()
+        FrameDropInjector(0.5).inject(frames, np.random.default_rng(7), schedule)
+        OcclusionInjector(0.5).inject(frames, np.random.default_rng(7), schedule)
+        counts = schedule.counts_by_injector()
+        assert set(counts) == {"frame-drop", "occlusion"}
+        assert "frame-drop" in schedule.summary()
+        assert len(schedule.events_for("occlusion")) == len(frames)
+
+    def test_empty_summary(self):
+        assert FaultSchedule().summary() == "no faults injected"

@@ -1,0 +1,66 @@
+"""reprolint coverage of repro.faults: RNG discipline and layering.
+
+Injectors must draw all randomness from generators built by
+``repro.util.rng`` (the determinism the FaultSchedule ground truth and the
+zero-intensity/byte-identity contracts rest on), and the package sits
+between ``camera`` and ``link`` in the layering map.  The repo-wide clean
+gate (tests/core/test_lint_clean.py) already walks the package; these tests
+pin the faults-specific guarantees and prove the linter would actually
+catch a violation there.
+"""
+
+import textwrap
+from pathlib import Path
+
+import repro.faults
+from repro.tooling import lint_source, lint_tree
+
+FAULTS_ROOT = Path(repro.faults.__file__).resolve().parent
+
+
+def rule_ids(source, path):
+    return [f.rule_id for f in lint_source(textwrap.dedent(source), path=path)]
+
+
+class TestFaultsPackageIsClean:
+    def test_faults_tree_has_no_findings(self):
+        report = lint_tree(FAULTS_ROOT)
+        assert report.files_checked >= 3
+        assert report.clean, "\n" + report.format()
+
+    def test_no_rng_disable_pragmas(self):
+        # Clean by construction, not by suppression: the package may not
+        # opt out of the rng rule with a pragma.
+        for path in FAULTS_ROOT.rglob("*.py"):
+            source = path.read_text()
+            assert "reprolint: disable" not in source, path
+
+
+class TestViolationsAreCaught:
+    def test_direct_default_rng_in_faults_is_flagged(self):
+        src = """
+            import numpy as np
+
+            def shuffle_frames(frames):
+                return np.random.default_rng().permutation(frames)
+        """
+        assert rule_ids(src, "src/repro/faults/evil.py") == ["rng-direct-call"]
+
+    def test_stdlib_random_in_faults_is_flagged(self):
+        src = """
+            import random
+
+            def drop(frames):
+                return [f for f in frames if random.random() > 0.5]
+        """
+        assert "rng-direct-call" in rule_ids(src, "src/repro/faults/evil.py")
+
+    def test_faults_importing_receiver_breaks_layering(self):
+        # faults sits below rx: injectors transform captured frames and may
+        # not reach up into the receiver.
+        src = "from repro.rx.receiver import ColorBarsReceiver\n"
+        assert rule_ids(src, "src/repro/faults/evil.py") == ["import-layering"]
+
+    def test_faults_may_import_camera(self):
+        src = "from repro.camera.frame import CapturedFrame\n"
+        assert rule_ids(src, "src/repro/faults/ok.py") == []

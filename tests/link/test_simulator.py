@@ -3,8 +3,11 @@
 import pytest
 
 from repro.core.config import SystemConfig
-from repro.link.simulator import LinkSimulator, sweep
+from repro.core.metrics import LinkMetrics
+from repro.core.system import TransmissionPlan
+from repro.link.simulator import LinkResult, LinkSimulator, sweep
 from repro.link.workloads import text_payload
+from repro.rx.receiver import ReceiverReport
 
 
 @pytest.fixture
@@ -53,6 +56,70 @@ class TestRun:
     def test_invalid_duration(self, config, tiny_device):
         with pytest.raises(Exception):
             LinkSimulator(config, tiny_device).run(duration_s=0)
+
+
+class TestRecoveredBroadcast:
+    """Unit tests for LinkResult.recovered_broadcast's prefix matching.
+
+    Each decoded payload is the k-byte prefix of its systematic codeword;
+    these build a LinkResult by hand (no simulation) so the prefix logic is
+    exercised in isolation.
+    """
+
+    @staticmethod
+    def _result(codewords, payload, decoded_payloads):
+        metrics = LinkMetrics(
+            symbol_error_rate=0.0,
+            data_symbol_error_rate=0.0,
+            throughput_bps=0.0,
+            goodput_bps=0.0,
+            duration_s=1.0,
+            symbols_compared=0,
+            data_symbols_received=0,
+            packets_decoded=len(decoded_payloads),
+            packets_seen=len(decoded_payloads),
+            inter_frame_loss_ratio=0.0,
+        )
+        plan = TransmissionPlan(
+            symbols=[],
+            codewords=codewords,
+            payload=payload,
+            calibration_packets=0,
+            data_packets=len(codewords),
+        )
+        report = ReceiverReport(payloads=list(decoded_payloads))
+        return LinkResult(
+            config=None,
+            device_name="unit",
+            metrics=metrics,
+            report=report,
+            plan=plan,
+        )
+
+    def test_full_cycle_recovers_payload(self):
+        # k=4, two parity bytes per codeword; payload split across 2 blocks.
+        payload = b"colorbar"
+        codewords = [b"colo\x01\x02", b"rbar\x03\x04"]
+        result = self._result(
+            codewords, payload, decoded_payloads=[b"rbar", b"colo", b"rbar"]
+        )
+        assert result.recovered_broadcast() == payload
+
+    def test_missing_block_returns_none(self):
+        payload = b"colorbar"
+        codewords = [b"colo\x01\x02", b"rbar\x03\x04"]
+        result = self._result(codewords, payload, decoded_payloads=[b"colo"])
+        assert result.recovered_broadcast() is None
+
+    def test_padding_trimmed_to_original_payload(self):
+        # Payload shorter than the block grid: the tail block is padded on
+        # air, and recovery must trim back to the original length.
+        payload = b"color"
+        codewords = [b"colo\x01\x02", b"r\x00\x00\x00\x03\x04"]
+        result = self._result(
+            codewords, payload, decoded_payloads=[b"colo", b"r\x00\x00\x00"]
+        )
+        assert result.recovered_broadcast() == payload
 
 
 class TestSweep:

@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.csk.demodulator import DecisionKind, SymbolDecision
+from repro.packet.framing import PacketKind, preamble_symbols
 from repro.packet.packetizer import PacketConfig, Packetizer
 from repro.rx.assembler import PacketAssembler
 from repro.rx.detector import ReceivedBand
@@ -150,6 +151,91 @@ class TestDataExtraction:
         packets, _ = assembler.extract(items)
         assert len(packets) == 1
         assert packets[0].symbols_erased > 0
+
+
+class TestErasurePositionEdges:
+    """Erasure accounting at the awkward gap geometries."""
+
+    @staticmethod
+    def _body_start(packetizer):
+        return len(preamble_symbols(PacketKind.DATA)) + (
+            packetizer.config.size_field_symbols
+        )
+
+    def test_packet_entirely_inside_one_gap(self, assembler, packetizer):
+        # Three packets on air; the middle one vanishes whole into a gap.
+        first = packetizer.build_data_packet(b"\x01\x02")
+        middle = packetizer.build_data_packet(b"\xde\xad")
+        last = packetizer.build_data_packet(b"\x03\x04")
+        symbols = first + middle + last
+        drop = set(range(len(first), len(first) + len(middle)))
+        items = assembler.stitch(bands_from_symbols(symbols, drop=drop))
+        gaps = [item for item in items if item.is_gap]
+        assert len(gaps) == 1
+        assert gaps[0].lost == len(middle)
+        packets, _ = assembler.extract(items)
+        # The swallowed packet is simply never seen; its neighbours survive
+        # untouched (the gap burst belongs to neither codeword).
+        assert [p.codeword for p in packets] == [b"\x01\x02", b"\x03\x04"]
+        assert all(p.erasure_positions == [] for p in packets)
+
+    def test_gap_at_codeword_byte_zero(self, assembler, packetizer):
+        codeword = bytes(range(1, 9))
+        symbols = packetizer.build_data_packet(codeword)
+        layout = packetizer.body_layout(len(codeword))
+        body_start = self._body_start(packetizer)
+        # Drop the first three *data* body slots: their 9 bits cover codeword
+        # bytes 0 and 1, so the erasure list must start at byte 0.
+        data_positions = [
+            body_start + i for i, is_white in enumerate(layout) if not is_white
+        ]
+        items = assembler.stitch(
+            bands_from_symbols(symbols, drop=set(data_positions[:3]))
+        )
+        packets, _ = assembler.extract(items)
+        assert len(packets) == 1
+        packet = packets[0]
+        assert packet.erasure_positions[0] == 0
+        assert packet.erasure_positions == [0, 1]
+        for index, byte in enumerate(packet.codeword):
+            if index not in packet.erasure_positions:
+                assert byte == codeword[index]
+
+    def test_back_to_back_gaps_across_two_frame_boundaries(
+        self, assembler, packetizer
+    ):
+        codeword = bytes(range(10))
+        symbols = packetizer.build_data_packet(codeword)
+        body_start = self._body_start(packetizer)
+        third = len(symbols) // 3
+        # Three frames; each boundary loses a burst (frame tail + next head),
+        # and the two bursts land in the same packet body.
+        frame_of = lambda position: min(position // third, 2)  # noqa: E731
+        drop = set(range(third - 2, third + 2)) | set(
+            range(2 * third - 2, 2 * third + 2)
+        )
+        assert min(drop) > body_start  # bursts hit the body, not the header
+        items = assembler.stitch(
+            bands_from_symbols(symbols, drop=drop, frame_of=frame_of)
+        )
+        assert assembler.stats.gaps_inserted == 2
+        assert assembler.stats.symbols_lost_in_gaps == len(drop)
+        assert assembler.stats.max_gap_symbols == 4
+        packets, _ = assembler.extract(items)
+        assert len(packets) == 1
+        packet = packets[0]
+        assert not packet.complete
+        assert packet.symbols_erased == len(drop)
+        # Erasures form two separated runs — one per boundary burst.
+        runs = 1 + sum(
+            1
+            for a, b in zip(packet.erasure_positions, packet.erasure_positions[1:])
+            if b - a > 1
+        )
+        assert runs == 2
+        for index, byte in enumerate(packet.codeword):
+            if index not in packet.erasure_positions:
+                assert byte == codeword[index]
 
 
 class TestCalibrationExtraction:

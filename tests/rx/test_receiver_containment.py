@@ -1,0 +1,110 @@
+"""Per-frame fault containment in ColorBarsReceiver.
+
+The graceful-degradation contract: a ColorBarsError raised while processing
+one frame becomes a FrameFailure record and a frame-wide gap — it never
+aborts the session.  Errors outside the ColorBarsError hierarchy are bugs,
+not channel conditions, and must still propagate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camera.auto_exposure import ExposureSettings
+from repro.camera.frame import CapturedFrame
+from repro.core.config import SystemConfig
+from repro.core.system import make_receiver
+from repro.csk.calibration import CalibrationTable
+from repro.exceptions import DemodulationError
+from repro.link.simulator import LinkSimulator
+
+ROWS, COLS = 400, 8
+
+
+def make_frames(count=4):
+    rng = np.random.default_rng(99)
+    return [
+        CapturedFrame(
+            index=i,
+            pixels=rng.integers(10, 240, size=(ROWS, COLS, 3)).astype(np.uint8),
+            start_time=i / 30.0,
+            row_period=1e-4,
+            exposure=ExposureSettings(exposure_s=1e-3, iso=100.0),
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.fixture
+def receiver(tiny_device):
+    config = SystemConfig(
+        csk_order=8, symbol_rate=1000, design_loss_ratio=0.25,
+        illumination_ratio=0.8,
+    )
+    rx = make_receiver(config, tiny_device.timing)
+    # Pre-calibrate so process_frames skips bootstrap and runs the full
+    # demodulation pass (where containment records failures).
+    table = CalibrationTable(rx.calibration.constellation)
+    references = np.stack(
+        [[20.0 * i, 40.0 - 10.0 * i] for i in range(table.constellation.order)]
+    )
+    table.update(references, white_chroma=np.array([200.0, 200.0]))
+    rx.calibration = table
+    rx.demodulator.calibration = table
+    return rx
+
+
+class RaisingDetector:
+    """Wraps the real detector; raises for the poisoned frame indices."""
+
+    def __init__(self, inner, poisoned):
+        self.inner = inner
+        self.poisoned = set(poisoned)
+
+    def detect(self, frame, bands):
+        if frame.index in self.poisoned:
+            raise DemodulationError(f"poisoned frame {frame.index}")
+        return self.inner.detect(frame, bands)
+
+
+class TestContainment:
+    def test_colorbars_error_becomes_frame_failure(self, receiver):
+        frames = make_frames(4)
+        receiver.detector = RaisingDetector(receiver.detector, {2})
+        report = receiver.process_frames(frames)
+        assert report.frames_processed == 4
+        assert report.frames_failed == 1
+        failure = report.frame_failures[0]
+        assert failure.frame_index == 2
+        assert failure.stage == "detect"
+        assert failure.error_type == "DemodulationError"
+        assert "poisoned frame 2" in failure.message
+
+    def test_every_frame_failing_still_returns_report(self, receiver):
+        frames = make_frames(3)
+        receiver.detector = RaisingDetector(receiver.detector, {0, 1, 2})
+        report = receiver.process_frames(frames)
+        assert report.frames_failed == 3
+        assert report.payloads == []
+        assert report.symbols_detected == 0
+
+    def test_non_colorbars_error_propagates(self, receiver):
+        frames = make_frames(2)
+
+        class Bug:
+            def detect(self, frame, bands):
+                raise RuntimeError("programming bug, not a channel condition")
+
+        receiver.detector = Bug()
+        with pytest.raises(RuntimeError):
+            receiver.process_frames(frames)
+
+    def test_failed_frame_degrades_link_not_session(self, tiny_device):
+        """End to end: poisoning one frame mid-run costs symbols, not the run."""
+        config = SystemConfig(
+            csk_order=4, symbol_rate=1000, design_loss_ratio=0.25,
+            illumination_ratio=0.8,
+        )
+        simulator = LinkSimulator(config, tiny_device, seed=3)
+        clean = simulator.run(duration_s=2.0)
+        assert clean.report.frames_failed == 0
+        assert clean.metrics.goodput_bps > 0
