@@ -2,7 +2,9 @@
 
 The Figs 9/10/11 benches and Table 1 all consume the same CSK-order x
 symbol-rate x device sweep; it is expensive (dozens of simulated video
-recordings), so it is computed once per session and cached here.
+recordings), so it is computed once per session and cached here.  The grid
+runs through the :mod:`repro.perf` executor — set ``COLORBARS_WORKERS=4``
+to fan the cells out over a process pool (bit-identical to serial).
 
 Every bench prints the same rows/series the paper reports; assertions check
 the qualitative *shape* (who wins, what rises with what), not the paper's
@@ -17,7 +19,8 @@ import pytest
 
 from repro.camera.devices import DeviceProfile, iphone_5s, nexus_5
 from repro.core.config import SystemConfig
-from repro.link.simulator import LinkResult, LinkSimulator
+from repro.link.simulator import LinkResult, RunSpec
+from repro.perf.executor import run_specs
 
 ORDERS = (4, 8, 16, 32)
 RATES = (1000.0, 2000.0, 3000.0, 4000.0)
@@ -29,9 +32,9 @@ def _duration_for(rate: float) -> float:
     return 3.5 if rate <= 2000 else 2.5
 
 
-def run_cell(
+def cell_spec(
     device: DeviceProfile, order: int, rate: float, seed: int = 11
-) -> LinkResult:
+) -> RunSpec:
     """One sweep cell: a full TX -> camera -> RX run with shared settings."""
     config = SystemConfig(
         csk_order=order,
@@ -39,10 +42,20 @@ def run_cell(
         design_loss_ratio=device.timing.gap_fraction,
         frame_rate=device.timing.frame_rate,
     )
-    simulator = LinkSimulator(
-        config, device, simulated_columns=32, seed=seed
+    return RunSpec(
+        config=config,
+        device=device,
+        simulated_columns=32,
+        seed=seed,
+        duration_s=_duration_for(rate),
     )
-    return simulator.run(duration_s=_duration_for(rate))
+
+
+def run_cell(
+    device: DeviceProfile, order: int, rate: float, seed: int = 11
+) -> LinkResult:
+    """Execute one cell (serial helper for one-off bench runs)."""
+    return cell_spec(device, order, rate, seed=seed).execute()
 
 
 SweepResults = Dict[str, Dict[Tuple[int, float], LinkResult]]
@@ -50,16 +63,24 @@ SweepResults = Dict[str, Dict[Tuple[int, float], LinkResult]]
 
 @pytest.fixture(scope="session")
 def full_sweep() -> SweepResults:
-    """The paper's full evaluation grid, computed once per bench session."""
-    results: SweepResults = {}
+    """The paper's full evaluation grid, computed once per bench session.
+
+    All devices' feasible cells are flattened into one spec list and run
+    through the perf executor, honoring ``COLORBARS_WORKERS``.
+    """
+    keys: list = []
+    specs: list = []
     for device in (nexus_5(), iphone_5s()):
-        cells: Dict[Tuple[int, float], LinkResult] = {}
         for order in ORDERS:
             for rate in RATES:
                 if device.timing.rows_per_symbol(rate) < 10:
                     continue
-                cells[(order, rate)] = run_cell(device, order, rate)
-        results[device.name] = cells
+                keys.append((device.name, (order, rate)))
+                specs.append(cell_spec(device, order, rate))
+    cells = run_specs(specs)
+    results: SweepResults = {}
+    for (device_name, cell_key), result in zip(keys, cells):
+        results.setdefault(device_name, {})[cell_key] = result
     return results
 
 

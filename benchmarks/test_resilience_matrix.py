@@ -29,7 +29,8 @@ import pytest
 from repro.camera.devices import nexus_5
 from repro.core.config import SystemConfig
 from repro.faults import FAULT_REGISTRY, make_injector
-from repro.link.simulator import LinkResult, LinkSimulator
+from repro.link.simulator import LinkResult, RunSpec
+from repro.perf.executor import run_specs
 
 INTENSITIES = (0.0, 0.1, 0.2, 0.35, 0.5)
 SEED = 1
@@ -47,7 +48,7 @@ CLIFF_THRESHOLDS = {
 }
 
 
-def _run(faults) -> LinkResult:
+def _spec(faults) -> RunSpec:
     device = nexus_5()
     config = SystemConfig(
         csk_order=4,
@@ -55,10 +56,14 @@ def _run(faults) -> LinkResult:
         design_loss_ratio=device.timing.gap_fraction,
         frame_rate=device.timing.frame_rate,
     )
-    simulator = LinkSimulator(
-        config, device, simulated_columns=32, seed=SEED, faults=faults
+    return RunSpec(
+        config=config,
+        device=device,
+        simulated_columns=32,
+        seed=SEED,
+        faults=tuple(faults),
+        duration_s=DURATION_S,
     )
-    return simulator.run(duration_s=DURATION_S)
 
 
 MatrixResults = Dict[Tuple[str, float], LinkResult]
@@ -66,11 +71,20 @@ MatrixResults = Dict[Tuple[str, float], LinkResult]
 
 @pytest.fixture(scope="module")
 def matrix() -> Tuple[LinkResult, MatrixResults]:
-    baseline = _run([])
-    cells: MatrixResults = {}
-    for name in sorted(FAULT_REGISTRY):
-        for intensity in INTENSITIES:
-            cells[(name, intensity)] = _run([make_injector(name, intensity)])
+    # The whole fault x intensity grid (plus the no-fault baseline) runs
+    # through the perf executor; COLORBARS_WORKERS parallelizes it and the
+    # shared plan cache builds the identical broadcast exactly once.
+    keys = [
+        (name, intensity)
+        for name in sorted(FAULT_REGISTRY)
+        for intensity in INTENSITIES
+    ]
+    specs = [_spec([])] + [
+        _spec([make_injector(name, intensity)]) for name, intensity in keys
+    ]
+    results = run_specs(specs)
+    baseline = results[0]
+    cells: MatrixResults = dict(zip(keys, results[1:]))
     return baseline, cells
 
 

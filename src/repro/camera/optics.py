@@ -11,6 +11,7 @@ ambient light complete the link-budget model (the paper operates within
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -81,3 +82,31 @@ class Optics:
         """Distance attenuation plus ambient, before the sensor sees light."""
         xyz = np.asarray(xyz, dtype=float)
         return xyz * self.distance_gain() + self.ambient_xyz()
+
+
+#: Full-sensor vignette maps are pure geometry — (optics, rows, cols) — yet
+#: cost ~1 s at phone resolutions, so rebuilding one per camera dominates
+#: short sweep cells.  Memoized here; entries are returned read-only because
+#: they are shared across every camera in the process.
+_VIGNETTE_CACHE: Dict[Tuple["Optics", int, int], np.ndarray] = {}
+_VIGNETTE_CACHE_MAX = 16
+
+
+def cached_vignette_map(optics: Optics, rows: int, cols: int) -> np.ndarray:
+    """A process-wide memo over :meth:`Optics.vignette_map`.
+
+    Bit-identical to calling the method directly (the map is deterministic
+    geometry); the returned array is marked non-writeable — copy before
+    mutating.  The cache holds the :data:`_VIGNETTE_CACHE_MAX` most recently
+    inserted geometries (FIFO), bounding memory for synthetic-device
+    population studies that vary optics per device.
+    """
+    key = (optics, rows, cols)
+    cached = _VIGNETTE_CACHE.get(key)
+    if cached is None:
+        cached = optics.vignette_map(rows, cols)
+        cached.flags.writeable = False
+        while len(_VIGNETTE_CACHE) >= _VIGNETTE_CACHE_MAX:
+            _VIGNETTE_CACHE.pop(next(iter(_VIGNETTE_CACHE)))
+        _VIGNETTE_CACHE[key] = cached
+    return cached

@@ -33,8 +33,8 @@ from repro.camera.bayer import mosaic_roundtrip
 from repro.camera.color_filter import ColorResponse
 from repro.camera.frame import CapturedFrame
 from repro.camera.noise import SensorNoise, quantize_8bit
-from repro.camera.optics import Optics
-from repro.color.srgb import linear_to_srgb
+from repro.camera.optics import Optics, cached_vignette_map
+from repro.color.srgb import linear_to_srgb, xyz_to_linear_rgb
 from repro.exceptions import SensorTimingError
 from repro.phy.waveform import OpticalWaveform
 from repro.util.rng import make_rng
@@ -176,6 +176,12 @@ class RollingShutterCamera:
         self._vignette_cache = self._compute_vignette_strip(
             timing.rows, simulated_columns
         )
+        # Scene and color-response transforms are constant for the camera's
+        # lifetime; hoisting them out of capture_frame saves a matrix build
+        # and two optics evaluations per frame.
+        self._response_matrix_t = self.response.effective_matrix.T
+        self._scene_gain = self.optics.distance_gain()
+        self._scene_ambient = self.optics.ambient_xyz()
 
     # -- capture ---------------------------------------------------------
 
@@ -201,9 +207,10 @@ class RollingShutterCamera:
 
         # 1. Scanline exposure integration of the transmitted waveform.
         scene_xyz = waveform.mean_xyz(row_starts, row_stops)
-        # 2. Optics and device color response.
-        scene_xyz = self.optics.apply_to_scene(scene_xyz)
-        camera_linear = self.response.scene_xyz_to_camera_linear(scene_xyz)
+        # 2. Optics and device color response (hoisted invariants; identical
+        # arithmetic to Optics.apply_to_scene / scene_xyz_to_camera_linear).
+        scene_xyz = scene_xyz * self._scene_gain + self._scene_ambient
+        camera_linear = xyz_to_linear_rgb(scene_xyz) @ self._response_matrix_t
 
         # 3. Radiometric scaling to full-well units and 2-D broadcast.
         gain = (
@@ -304,8 +311,14 @@ class RollingShutterCamera:
         )
 
     def _compute_vignette_strip(self, rows: int, cols: int) -> np.ndarray:
-        """Vignetting over the simulated center strip of the full sensor."""
-        full = self.optics.vignette_map(rows, self.timing.cols)
+        """Vignetting over the simulated center strip of the full sensor.
+
+        The full-sensor map is fetched from the process-wide geometry memo
+        (:func:`repro.camera.optics.cached_vignette_map`): sweep cells share
+        device geometry, so only the first camera per geometry pays the
+        ~1 s cos^4 evaluation at phone resolutions.
+        """
+        full = cached_vignette_map(self.optics, rows, self.timing.cols)
         left = (self.timing.cols - cols) // 2
         return full[:, left : left + cols]
 

@@ -16,10 +16,12 @@ from typing import List, Optional
 
 from repro.camera.devices import DeviceProfile, generic_device, iphone_5s, nexus_5
 from repro.core.config import SystemConfig
-from repro.exceptions import FaultInjectionError, ToolingError
+from repro.exceptions import BenchError, FaultInjectionError, ToolingError
 from repro.faults import FAULT_REGISTRY, parse_fault_specs
-from repro.link.simulator import LinkSimulator
+from repro.link.simulator import LinkSimulator, RunSpec
 from repro.link.workloads import text_payload
+from repro.perf.bench import BENCH_FILENAME, format_breakdown, run_bench, write_report
+from repro.perf.executor import default_workers, run_specs
 from repro.tooling import ALL_RULES, format_report, get_rules, lint_tree
 
 _DEVICES = {
@@ -95,27 +97,49 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     device = _device(args.device)
     orders = [int(o) for o in args.orders.split(",")]
     rates = [float(r) for r in args.rates.split(",")]
-    print(f"device: {device.name}")
-    print(f"{'order':>6} | {'rate':>6} | {'SER':>8} | {'tput kbps':>9} | {'good kbps':>9}")
+    workers = args.workers if args.workers is not None else default_workers()
+    specs = {}
     for order in orders:
         for rate in rates:
             if device.timing.rows_per_symbol(rate) < 10:
-                print(f"{order:>6} | {rate:>6.0f} | {'(band < 10 px)':>32}")
                 continue
             config = SystemConfig(
                 csk_order=order,
                 symbol_rate=rate,
                 design_loss_ratio=device.timing.gap_fraction,
             )
-            result = LinkSimulator(config, device, seed=args.seed).run(
-                duration_s=args.duration
+            specs[(order, rate)] = RunSpec(
+                config=config, device=device, seed=args.seed,
+                duration_s=args.duration,
             )
+    results = dict(zip(specs, run_specs(list(specs.values()), workers=workers)))
+    print(f"device: {device.name} (workers: {workers})")
+    print(f"{'order':>6} | {'rate':>6} | {'SER':>8} | {'tput kbps':>9} | {'good kbps':>9}")
+    for order in orders:
+        for rate in rates:
+            result = results.get((order, rate))
+            if result is None:
+                print(f"{order:>6} | {rate:>6.0f} | {'(band < 10 px)':>32}")
+                continue
             m = result.metrics
             print(
                 f"{order:>6} | {rate:>6.0f} | {m.data_symbol_error_rate:8.4f}"
                 f" | {m.throughput_bps / 1000:9.2f}"
                 f" | {m.goodput_bps / 1000:9.2f}"
             )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    report = run_bench(workers=args.workers, quick=args.quick)
+    for line in format_breakdown(report):
+        print(line)
+    try:
+        write_report(report, args.output)
+    except BenchError as exc:
+        print(f"colorbars bench: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {args.output}")
     return 0
 
 
@@ -193,7 +217,29 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--rates", default="1000,2000,3000,4000")
     sweep_p.add_argument("--duration", type=float, default=2.0)
     sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel sweep processes (default: $COLORBARS_WORKERS or 1)",
+    )
     sweep_p.set_defaults(func=cmd_sweep)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the pinned perf micro-sweep and write BENCH_colorbars.json",
+    )
+    bench_p.add_argument(
+        "--workers", type=int, default=4,
+        help="pool size for the parallel leg of the bench (default 4)",
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true",
+        help="half-size grid and shorter recordings (CI smoke)",
+    )
+    bench_p.add_argument(
+        "--output", default=BENCH_FILENAME,
+        help=f"report path (default ./{BENCH_FILENAME})",
+    )
+    bench_p.set_defaults(func=cmd_bench)
 
     info_p = sub.add_parser("info", help="show derived link parameters")
     common(info_p)

@@ -8,8 +8,20 @@ exposes the parameter sweeps the paper's evaluation section performs.
 """
 
 from repro.link.channel import ChannelConditions
-from repro.link.multi import FleetMember, FleetReport, broadcast_to_fleet
-from repro.link.simulator import LinkResult, LinkSimulator, sweep
+from repro.link.multi import (
+    FleetMember,
+    FleetReport,
+    broadcast_to_fleet,
+    fleet_specs,
+)
+from repro.link.simulator import (
+    LinkResult,
+    LinkSimulator,
+    RunSpec,
+    execute_specs,
+    sweep,
+    sweep_specs,
+)
 from repro.link.workloads import (
     image_like_payload,
     random_payload,
@@ -21,9 +33,13 @@ __all__ = [
     "FleetMember",
     "FleetReport",
     "broadcast_to_fleet",
+    "fleet_specs",
     "LinkResult",
     "LinkSimulator",
+    "RunSpec",
+    "execute_specs",
     "sweep",
+    "sweep_specs",
     "image_like_payload",
     "random_payload",
     "text_payload",

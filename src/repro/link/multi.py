@@ -19,7 +19,7 @@ from repro.core.config import SystemConfig
 from repro.core.metrics import LinkMetrics
 from repro.exceptions import ConfigurationError
 from repro.link.channel import ChannelConditions
-from repro.link.simulator import LinkSimulator
+from repro.link.simulator import RunSpec, Runner, execute_specs
 
 
 @dataclass
@@ -68,7 +68,7 @@ class FleetReport:
         return lines
 
 
-def broadcast_to_fleet(
+def fleet_specs(
     devices: Sequence[DeviceProfile],
     csk_order: int = 16,
     symbol_rate: float = 3000.0,
@@ -77,12 +77,13 @@ def broadcast_to_fleet(
     channel: Optional[ChannelConditions] = None,
     compare_dedicated: bool = True,
     seed: int = 0,
-) -> FleetReport:
-    """One transmitter, many phones: the §8 deployment scenario.
+) -> List[RunSpec]:
+    """Every run a fleet broadcast needs, as independent cell specs.
 
-    The shared configuration provisions FEC for the fleet's worst loss
-    ratio; with ``compare_dedicated=True`` each device is also run against
-    a link provisioned for it alone, quantifying the §8 bound.
+    Per device: the shared-provisioning run, then (optionally) the
+    dedicated-provisioning run, in fleet order.  Every member reuses the
+    *same* shared configuration and payload — which is what makes the
+    transmitter plan memoizable across the whole fleet.
     """
     if not devices:
         raise ConfigurationError("fleet must contain at least one device")
@@ -92,30 +93,83 @@ def broadcast_to_fleet(
         symbol_rate=symbol_rate,
         design_loss_ratio=worst_loss,
     )
-    report = FleetReport(
-        shared_config_description=shared_config.describe(),
-        worst_loss_ratio=worst_loss,
-    )
+    specs: List[RunSpec] = []
     for index, device in enumerate(devices):
-        shared = LinkSimulator(
-            shared_config, device, channel=channel, seed=seed + index
-        ).run(payload=payload, duration_s=duration_s)
-        dedicated_metrics = None
+        specs.append(
+            RunSpec(
+                config=shared_config,
+                device=device,
+                channel=channel,
+                seed=seed + index,
+                payload=payload,
+                duration_s=duration_s,
+            )
+        )
         if compare_dedicated:
             dedicated_config = SystemConfig(
                 csk_order=csk_order,
                 symbol_rate=symbol_rate,
                 design_loss_ratio=device.timing.gap_fraction,
             )
-            dedicated = LinkSimulator(
-                dedicated_config, device, channel=channel, seed=seed + index
-            ).run(payload=payload, duration_s=duration_s)
-            dedicated_metrics = dedicated.metrics
+            specs.append(
+                RunSpec(
+                    config=dedicated_config,
+                    device=device,
+                    channel=channel,
+                    seed=seed + index,
+                    payload=payload,
+                    duration_s=duration_s,
+                )
+            )
+    return specs
+
+
+def broadcast_to_fleet(
+    devices: Sequence[DeviceProfile],
+    csk_order: int = 16,
+    symbol_rate: float = 3000.0,
+    duration_s: float = 2.0,
+    payload: Optional[bytes] = None,
+    channel: Optional[ChannelConditions] = None,
+    compare_dedicated: bool = True,
+    seed: int = 0,
+    runner: Optional[Runner] = None,
+) -> FleetReport:
+    """One transmitter, many phones: the §8 deployment scenario.
+
+    The shared configuration provisions FEC for the fleet's worst loss
+    ratio; with ``compare_dedicated=True`` each device is also run against
+    a link provisioned for it alone, quantifying the §8 bound.
+
+    ``runner`` executes the per-member runs (e.g. over a process pool via
+    :func:`repro.perf.executor.make_runner`); the default runs serially.
+    """
+    specs = fleet_specs(
+        devices,
+        csk_order=csk_order,
+        symbol_rate=symbol_rate,
+        duration_s=duration_s,
+        payload=payload,
+        channel=channel,
+        compare_dedicated=compare_dedicated,
+        seed=seed,
+    )
+    results = execute_specs(specs, runner=runner)
+    worst_loss = max(device.timing.gap_fraction for device in devices)
+    report = FleetReport(
+        shared_config_description=specs[0].config.describe(),
+        worst_loss_ratio=worst_loss,
+    )
+    runs_per_member = 2 if compare_dedicated else 1
+    for index, device in enumerate(devices):
+        member_runs = results[index * runs_per_member : (index + 1) * runs_per_member]
         report.members.append(
             FleetMember(
                 device_name=device.name,
-                shared_metrics=shared.metrics,
-                dedicated_metrics=dedicated_metrics,
+                shared_metrics=member_runs[0].metrics,
+                dedicated_metrics=(
+                    member_runs[1].metrics if compare_dedicated else None
+                ),
             )
         )
     return report

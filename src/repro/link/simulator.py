@@ -5,6 +5,14 @@ the transmitter broadcasts a payload cyclically, the simulated phone records
 video for a duration, the receiver decodes the frames, and the metrics are
 computed against the on-air ground truth.  :func:`sweep` runs the CSK-order
 x symbol-rate grid of Figs 9-11.
+
+Sweeps are embarrassingly parallel: every cell derives all of its
+randomness from its own ``(seed, cell)`` tuple, so cells share no state.
+:class:`RunSpec` makes one cell a picklable value object, and :func:`sweep`
+accepts a ``runner`` — any callable mapping a spec list to the matching
+result list — so the process-pool executor in :mod:`repro.perf.executor`
+can run the grid concurrently while staying bit-identical to this serial
+code path.
 """
 
 from __future__ import annotations
@@ -25,10 +33,17 @@ from repro.exceptions import LinkError
 from repro.faults.base import FaultInjector, FaultSchedule
 from repro.link.channel import ChannelConditions
 from repro.link.workloads import text_payload
-from repro.phy.waveform import EXTEND_CYCLE
+from repro.phy.waveform import EXTEND_CYCLE, OpticalWaveform
 from repro.rx.receiver import ReceiverReport
 from repro.util.rng import derive_rng, make_rng
+from repro.util.stopwatch import StageTimings
 from repro.util.validation import require_positive
+
+#: A planner maps ``(config, payload)`` to a ready transmission plan and its
+#: optical waveform.  ``None`` builds both from scratch; the memoizing
+#: implementation lives in :class:`repro.perf.cache.PlanCache` (injected, so
+#: the link layer never imports the perf layer).
+Planner = Callable[[SystemConfig, bytes], Tuple[TransmissionPlan, OpticalWaveform]]
 
 
 @dataclass
@@ -42,6 +57,9 @@ class LinkResult:
     plan: TransmissionPlan
     matches: List[GroundTruthMatch] = field(default_factory=list)
     fault_schedule: FaultSchedule = field(default_factory=FaultSchedule)
+    #: Wall-clock per pipeline stage; measurement metadata, excluded from
+    #: equality so timed runs still compare bit-identical.
+    timings: StageTimings = field(default_factory=StageTimings, compare=False)
 
     def delivered_payload(self) -> bytes:
         """Concatenation of every successfully decoded packet payload."""
@@ -71,14 +89,29 @@ class LinkResult:
         return joined[: len(self.plan.payload)]
 
     def _k(self) -> int:
-        """Payload bytes per codeword in this run's plan."""
-        if not self.report.payloads:
-            return len(self.plan.codewords[0]) if self.plan.codewords else 0
-        return len(self.report.payloads[0])
+        """Payload bytes per codeword in this run's plan.
+
+        Derived from the RS dimensioning: decoded payloads may be absent,
+        and a codeword is n bytes (payload plus parity), not k — falling
+        back to the codeword length would build the prefix map with the
+        wrong slice.  Hand-built results without a config (unit fixtures)
+        fall back to a decoded payload's length, which is k by definition.
+        """
+        if self.config is not None:
+            return self.config.rs_params().k
+        if self.report.payloads:
+            return len(self.report.payloads[0])
+        return 0
 
 
 class LinkSimulator:
-    """Reproducible transmitter-camera-receiver runs for one device."""
+    """Reproducible transmitter-camera-receiver runs for one device.
+
+    ``planner`` optionally replaces the in-run transmitter-plan/waveform
+    construction (see :data:`Planner`); because plan building is fully
+    deterministic in ``(config, payload)``, a memoizing planner cannot
+    change any run outcome, only skip redundant work.
+    """
 
     def __init__(
         self,
@@ -88,6 +121,7 @@ class LinkSimulator:
         simulated_columns: int = 48,
         seed=0,
         faults: Optional[Sequence[FaultInjector]] = None,
+        planner: Optional[Planner] = None,
     ) -> None:
         self.config = config
         self.device = device
@@ -97,6 +131,7 @@ class LinkSimulator:
         #: Fault injectors applied, in order, to each recording before the
         #: receiver sees it (see :mod:`repro.faults`).
         self.faults = tuple(faults or ())
+        self.planner = planner
 
     def run(
         self,
@@ -108,9 +143,9 @@ class LinkSimulator:
         if payload is None:
             payload = text_payload(3 * self.config.rs_params().k, seed=self.seed)
 
-        transmitter = ColorBarsTransmitter(self.config)
-        plan = transmitter.plan(payload)
-        waveform = transmitter.waveform(plan, extend=EXTEND_CYCLE)
+        timings = StageTimings()
+        with timings.measure("tx-plan"):
+            plan, waveform = self._plan_and_waveform(payload)
 
         profile = DeviceProfile(
             name=self.device.name,
@@ -122,24 +157,28 @@ class LinkSimulator:
         camera = profile.make_camera(
             simulated_columns=self.simulated_columns, seed=self.seed
         )
-        frames = camera.record(waveform, duration=duration_s)
+        with timings.measure("record"):
+            frames = camera.record(waveform, duration=duration_s)
         if not frames:
             raise LinkError(
                 f"duration {duration_s}s too short for one frame at "
                 f"{profile.timing.frame_rate} fps"
             )
-        frames, schedule = self._inject_faults(frames)
+        with timings.measure("inject"):
+            frames, schedule = self._inject_faults(frames)
 
         receiver = make_receiver(self.config, profile.timing)
-        report = receiver.process_frames(frames)
-        matches = align_ground_truth(report.bands, plan.symbols, waveform)
-        metrics = compute_link_metrics(
-            report=report,
-            matches=matches,
-            bits_per_symbol=self.config.bits_per_symbol,
-            payload_bytes_per_packet=transmitter.payload_bytes_per_packet(),
-            duration_s=duration_s,
-        )
+        with timings.measure("decode"):
+            report = receiver.process_frames(frames)
+        with timings.measure("metrics"):
+            matches = align_ground_truth(report.bands, plan.symbols, waveform)
+            metrics = compute_link_metrics(
+                report=report,
+                matches=matches,
+                bits_per_symbol=self.config.bits_per_symbol,
+                payload_bytes_per_packet=self.config.rs_params().k,
+                duration_s=duration_s,
+            )
         return LinkResult(
             config=self.config,
             device_name=self.device.name,
@@ -148,7 +187,18 @@ class LinkSimulator:
             plan=plan,
             matches=matches,
             fault_schedule=schedule,
+            timings=timings,
         )
+
+    def _plan_and_waveform(
+        self, payload: bytes
+    ) -> Tuple[TransmissionPlan, OpticalWaveform]:
+        """Build (or fetch via the injected planner) the broadcast cycle."""
+        if self.planner is not None:
+            return self.planner(self.config, payload)
+        transmitter = ColorBarsTransmitter(self.config)
+        plan = transmitter.plan(payload)
+        return plan, transmitter.waveform(plan, extend=EXTEND_CYCLE)
 
     def _inject_faults(self, frames) -> tuple:
         """Run every configured injector over the recording, in order.
@@ -168,7 +218,54 @@ class LinkSimulator:
         return frames, schedule
 
 
-def sweep(
+@dataclass(frozen=True)
+class RunSpec:
+    """One link run as a picklable value: everything a cell needs, no state.
+
+    Cells built from specs are independent by construction — every stochastic
+    component derives from ``seed`` — which is the determinism argument that
+    lets :mod:`repro.perf.executor` farm specs out to worker processes and
+    still produce byte-identical results to a serial loop.
+    """
+
+    config: SystemConfig
+    device: DeviceProfile
+    channel: Optional[ChannelConditions] = None
+    simulated_columns: int = 48
+    seed: int = 0
+    faults: Tuple[FaultInjector, ...] = ()
+    payload: Optional[bytes] = None
+    duration_s: float = 2.0
+
+    def execute(self, planner: Optional[Planner] = None) -> LinkResult:
+        """Run this cell (optionally with a shared memoizing planner)."""
+        simulator = LinkSimulator(
+            self.config,
+            self.device,
+            channel=self.channel,
+            simulated_columns=self.simulated_columns,
+            seed=self.seed,
+            faults=self.faults,
+            planner=planner,
+        )
+        return simulator.run(payload=self.payload, duration_s=self.duration_s)
+
+
+#: A runner executes specs and returns results in the same order.  The
+#: default (``None``) is an in-process serial loop.
+Runner = Callable[[Sequence[RunSpec]], List[LinkResult]]
+
+
+def execute_specs(
+    specs: Sequence[RunSpec], runner: Optional[Runner] = None
+) -> List[LinkResult]:
+    """Run ``specs`` through ``runner`` (or serially), preserving order."""
+    if runner is not None:
+        return list(runner(specs))
+    return [spec.execute() for spec in specs]
+
+
+def sweep_specs(
     device: DeviceProfile,
     orders: Sequence[int] = (4, 8, 16, 32),
     symbol_rates: Sequence[float] = (1000.0, 2000.0, 3000.0, 4000.0),
@@ -176,14 +273,9 @@ def sweep(
     seed=0,
     config_overrides: Optional[Callable[[SystemConfig], SystemConfig]] = None,
     **config_kwargs,
-) -> Dict[Tuple[int, float], LinkResult]:
-    """The Figs 9-11 grid: CSK order x symbol rate for one device.
-
-    Returns ``{(order, rate): LinkResult}``.  Combinations whose band width
-    falls below the 10-row minimum for the device are skipped (the paper's
-    §4 feasibility constraint), mirroring what a real deployment must do.
-    """
-    results: Dict[Tuple[int, float], LinkResult] = {}
+) -> Dict[Tuple[int, float], RunSpec]:
+    """The feasible cells of the Figs 9-11 grid, as specs, in grid order."""
+    specs: Dict[Tuple[int, float], RunSpec] = {}
     for order in orders:
         for rate in symbol_rates:
             if device.timing.rows_per_symbol(rate) < 10:
@@ -197,6 +289,39 @@ def sweep(
             )
             if config_overrides is not None:
                 config = config_overrides(config)
-            simulator = LinkSimulator(config, device, seed=seed)
-            results[(order, rate)] = simulator.run(duration_s=duration_s)
-    return results
+            specs[(order, rate)] = RunSpec(
+                config=config, device=device, seed=seed, duration_s=duration_s
+            )
+    return specs
+
+
+def sweep(
+    device: DeviceProfile,
+    orders: Sequence[int] = (4, 8, 16, 32),
+    symbol_rates: Sequence[float] = (1000.0, 2000.0, 3000.0, 4000.0),
+    duration_s: float = 2.0,
+    seed=0,
+    config_overrides: Optional[Callable[[SystemConfig], SystemConfig]] = None,
+    runner: Optional[Runner] = None,
+    **config_kwargs,
+) -> Dict[Tuple[int, float], LinkResult]:
+    """The Figs 9-11 grid: CSK order x symbol rate for one device.
+
+    Returns ``{(order, rate): LinkResult}``.  Combinations whose band width
+    falls below the 10-row minimum for the device are skipped (the paper's
+    §4 feasibility constraint), mirroring what a real deployment must do.
+
+    ``runner`` executes the grid's cells (e.g. over a process pool via
+    :func:`repro.perf.executor.make_runner`); the default runs serially.
+    """
+    specs = sweep_specs(
+        device,
+        orders=orders,
+        symbol_rates=symbol_rates,
+        duration_s=duration_s,
+        seed=seed,
+        config_overrides=config_overrides,
+        **config_kwargs,
+    )
+    results = execute_specs(list(specs.values()), runner=runner)
+    return dict(zip(specs.keys(), results))

@@ -1,0 +1,58 @@
+"""Performance subsystem: parallel sweep execution, caching, instrumentation.
+
+Three pieces (DESIGN.md §5d):
+
+* :mod:`repro.perf.executor` — runs any list of independent
+  :class:`~repro.link.simulator.RunSpec` cells over a process pool,
+  bit-identical to the serial path by construction (each cell derives all
+  randomness from its own seed).  ``COLORBARS_WORKERS`` / ``--workers``
+  select the pool size; 1 is serial.
+* :mod:`repro.perf.cache` — memoizes the transmitter plan + optical
+  waveform per ``(config, payload)`` so fleet/resilience sweeps stop
+  rebuilding the identical broadcast per cell.
+* :mod:`repro.perf.bench` — the pinned ``colorbars bench`` micro-sweep
+  whose JSON report (``BENCH_colorbars.json``) tracks the perf trajectory
+  across PRs.
+
+Stage timings themselves live in :mod:`repro.util.stopwatch` (the bottom
+layer) so the link layer can attach them without importing this package.
+"""
+
+from repro.perf.bench import (
+    BENCH_FILENAME,
+    BENCH_SCHEMA_VERSION,
+    format_breakdown,
+    load_and_validate,
+    micro_sweep_specs,
+    run_bench,
+    validate_report,
+    write_report,
+)
+from repro.perf.cache import PlanCache, config_cache_key
+from repro.perf.executor import (
+    WORKERS_ENV,
+    default_workers,
+    make_runner,
+    parallel_fleet,
+    parallel_sweep,
+    run_specs,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "BENCH_SCHEMA_VERSION",
+    "format_breakdown",
+    "load_and_validate",
+    "micro_sweep_specs",
+    "run_bench",
+    "validate_report",
+    "write_report",
+    "PlanCache",
+    "config_cache_key",
+    "WORKERS_ENV",
+    "default_workers",
+    "make_runner",
+    "parallel_fleet",
+    "parallel_sweep",
+    "run_specs",
+]

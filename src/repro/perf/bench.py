@@ -1,0 +1,236 @@
+"""The ``colorbars bench`` micro-sweep: the repo's tracked perf trajectory.
+
+Runs a *pinned* micro-sweep (fixed device geometry, grid, seed, durations)
+once serially and once through the process-pool executor, and reports:
+
+* wall-clock per pipeline stage (tx-plan / record / inject / decode /
+  metrics), summed over the serial run's cells,
+* cells/sec for both modes and the parallel speedup,
+* environment provenance (git revision, CPU count, worker count).
+
+The JSON report (``BENCH_colorbars.json``) is the contract CI asserts and
+archives; keep :data:`REQUIRED_KEYS` stable (grow the schema by bumping
+:data:`BENCH_SCHEMA_VERSION` and adding keys, never by renaming).  Speedup
+is an observation about the machine that ran the bench — ``cpu_count`` is
+recorded precisely so a 1-core container's ~1x is not read as a regression
+against a 4-core runner's ~3x.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.camera.color_filter import perturbed_response
+from repro.camera.devices import DeviceProfile
+from repro.camera.noise import SensorNoise
+from repro.camera.optics import Optics
+from repro.camera.sensor import SensorTiming
+from repro.core.config import SystemConfig
+from repro.exceptions import BenchError
+from repro.link.simulator import LinkResult, RunSpec
+from repro.perf.executor import run_specs
+from repro.util.stopwatch import StageTimings
+
+#: Bump when the report layout changes; validators check it exactly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default output path (repo root by convention).
+BENCH_FILENAME = "BENCH_colorbars.json"
+
+#: Every key a valid report must carry.
+REQUIRED_KEYS = (
+    "schema_version",
+    "git_rev",
+    "generated_unix",
+    "workers",
+    "cpu_count",
+    "quick",
+    "cells",
+    "stages_s",
+    "wall_clock_s",
+    "cells_per_sec",
+    "speedup",
+)
+
+#: The pinned micro-sweep: small enough to finish in seconds, large enough
+#: that record/decode dominate as they do in the full artifact sweeps.
+_BENCH_SEED = 7
+_BENCH_COLUMNS = 32
+_FULL_GRID = ((4, 1000.0), (4, 2000.0), (8, 1000.0), (8, 2000.0))
+_QUICK_GRID = ((4, 1000.0), (8, 2000.0))
+_FULL_DURATION_S = 1.0
+_QUICK_DURATION_S = 0.6
+
+
+def bench_device() -> DeviceProfile:
+    """The pinned bench camera: small, fast, and stable across PRs.
+
+    800 rows at 30 fps with a 25% gap gives 16 rows per symbol at 2 kHz
+    (32 at 1 kHz) — every pinned grid cell clears the 10-row demodulation
+    minimum while frames still render in milliseconds.
+    """
+    return DeviceProfile(
+        name="bench-800",
+        timing=SensorTiming(rows=800, cols=64, frame_rate=30.0, gap_fraction=0.25),
+        response=perturbed_response(
+            name="bench CFA",
+            crosstalk=0.08,
+            hue_skew=0.1,
+            white_balance_error=0.02,
+            fidelity=0.5,
+        ),
+        noise=SensorNoise(row_noise=0.02),
+        optics=Optics(ambient_luminance=0.2),
+    )
+
+
+def micro_sweep_specs(quick: bool = False) -> List[RunSpec]:
+    """The pinned cells; ``quick`` halves the grid for CI smoke runs."""
+    device = bench_device()
+    grid = _QUICK_GRID if quick else _FULL_GRID
+    duration_s = _QUICK_DURATION_S if quick else _FULL_DURATION_S
+    return [
+        RunSpec(
+            config=SystemConfig(
+                csk_order=order,
+                symbol_rate=rate,
+                design_loss_ratio=device.timing.gap_fraction,
+                frame_rate=device.timing.frame_rate,
+            ),
+            device=device,
+            simulated_columns=_BENCH_COLUMNS,
+            seed=_BENCH_SEED,
+            duration_s=duration_s,
+        )
+        for order, rate in grid
+    ]
+
+
+def run_bench(workers: int = 4, quick: bool = False) -> Dict:
+    """Execute the micro-sweep serially and at ``workers``, return the report."""
+    specs = micro_sweep_specs(quick=quick)
+
+    serial_start = time.perf_counter()
+    serial_results = run_specs(specs, workers=1)
+    serial_wall = time.perf_counter() - serial_start
+
+    parallel_start = time.perf_counter()
+    run_specs(specs, workers=workers)
+    parallel_wall = time.perf_counter() - parallel_start
+
+    stages = StageTimings()
+    for result in serial_results:
+        stages.merge(result.timings)
+
+    cells = len(specs)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_rev": _git_rev(),
+        "generated_unix": time.time(),
+        "workers": workers,
+        "cpu_count": _cpu_count(),
+        "quick": quick,
+        "cells": cells,
+        "stages_s": {
+            stage: round(seconds, 4) for stage, seconds in stages.as_dict().items()
+        },
+        "wall_clock_s": {
+            "serial": round(serial_wall, 4),
+            "parallel": round(parallel_wall, 4),
+        },
+        "cells_per_sec": {
+            "serial": round(cells / serial_wall, 4),
+            "parallel": round(cells / parallel_wall, 4),
+        },
+        "speedup": round(serial_wall / parallel_wall, 4),
+    }
+
+
+def format_breakdown(report: Dict) -> List[str]:
+    """Human-readable per-stage breakdown lines (the CLI prints them)."""
+    lines = [
+        f"bench: {report['cells']} cells, git {report['git_rev']}, "
+        f"{report['cpu_count']} cpu(s)",
+        f"{'stage':>10} | {'seconds':>8} | {'share':>6}",
+        "-" * 32,
+    ]
+    total = sum(report["stages_s"].values()) or 1.0
+    for stage, seconds in report["stages_s"].items():
+        lines.append(f"{stage:>10} | {seconds:8.3f} | {seconds / total:5.1%}")
+    wall = report["wall_clock_s"]
+    cps = report["cells_per_sec"]
+    lines.append(
+        f"serial  : {wall['serial']:.3f} s ({cps['serial']:.2f} cells/s)"
+    )
+    lines.append(
+        f"parallel: {wall['parallel']:.3f} s ({cps['parallel']:.2f} cells/s) "
+        f"at {report['workers']} workers -> speedup {report['speedup']:.2f}x"
+    )
+    return lines
+
+
+def write_report(report: Dict, path) -> None:
+    """Validate then write the report as pretty JSON."""
+    validate_report(report)
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def validate_report(report: Dict) -> None:
+    """Raise :class:`BenchError` unless ``report`` matches the schema."""
+    if not isinstance(report, dict):
+        raise BenchError(f"bench report must be an object, got {type(report).__name__}")
+    missing = [key for key in REQUIRED_KEYS if key not in report]
+    if missing:
+        raise BenchError(f"bench report is missing keys: {', '.join(missing)}")
+    if report["schema_version"] != BENCH_SCHEMA_VERSION:
+        raise BenchError(
+            f"bench schema version {report['schema_version']!r} != "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    for section in ("wall_clock_s", "cells_per_sec"):
+        values = report[section]
+        if not isinstance(values, dict) or set(values) != {"serial", "parallel"}:
+            raise BenchError(f"{section} must map exactly serial/parallel")
+        for mode, value in values.items():
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise BenchError(f"{section}.{mode} must be positive, got {value!r}")
+    if not isinstance(report["stages_s"], dict) or not report["stages_s"]:
+        raise BenchError("stages_s must be a non-empty object")
+    if not isinstance(report["speedup"], (int, float)) or report["speedup"] <= 0:
+        raise BenchError(f"speedup must be positive, got {report['speedup']!r}")
+
+
+def load_and_validate(path) -> Dict:
+    """Read a report file and validate it (CI's schema assertion)."""
+    try:
+        report = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchError(f"cannot read bench report {path}: {exc}") from exc
+    validate_report(report)
+    return report
+
+
+def _git_rev() -> str:
+    """Short git revision of the working tree, or ``unknown`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def _cpu_count() -> int:
+    return os.cpu_count() or 1

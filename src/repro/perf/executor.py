@@ -1,0 +1,118 @@
+"""Parallel sweep executor: independent seeded cells over a process pool.
+
+Every artifact sweep in this reproduction — the Figs 9-11 grids, the fleet
+study, the resilience matrix — is a list of
+:class:`~repro.link.simulator.RunSpec` cells, each deriving *all* of its
+randomness from its own ``(seed, cell)`` tuple.  Cells therefore share no
+state, and executing them in worker processes is bit-identical to the
+serial loop by construction: the same spec runs the same code against the
+same seed either way, and result order is the spec order.
+
+``workers=1`` (the default, also via the ``COLORBARS_WORKERS`` environment
+switch) keeps everything in-process and serial.  Both paths share one
+:class:`~repro.perf.cache.PlanCache` per process, so fleet/resilience runs
+stop rebuilding the identical RS-encoded broadcast for every device/fault
+cell.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.camera.devices import DeviceProfile
+from repro.exceptions import ConfigurationError
+from repro.link.multi import FleetReport, broadcast_to_fleet
+from repro.link.simulator import LinkResult, RunSpec, Runner, sweep
+from repro.perf.cache import PlanCache
+
+#: Environment switch: ``COLORBARS_WORKERS=4`` parallelizes every sweep that
+#: does not pin an explicit worker count.
+WORKERS_ENV = "COLORBARS_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker count from :data:`WORKERS_ENV`, defaulting to 1 (serial)."""
+    raw = os.environ.get(WORKERS_ENV)
+    if raw is None or not raw.strip():
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{WORKERS_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ConfigurationError(
+            f"{WORKERS_ENV} must be a positive integer, got {raw!r}"
+        )
+    return workers
+
+
+#: Per-process plan cache for pool workers: one per forked/spawned worker,
+#: reused across every cell that worker executes.
+_WORKER_CACHE: Optional[PlanCache] = None
+
+
+def _process_cache() -> PlanCache:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = PlanCache()
+    return _WORKER_CACHE
+
+
+def _execute_spec(spec: RunSpec) -> LinkResult:
+    """Top-level (picklable) cell entry point for pool workers."""
+    return spec.execute(planner=_process_cache())
+
+
+def run_specs(
+    specs: Sequence[RunSpec], workers: Optional[int] = None
+) -> List[LinkResult]:
+    """Execute ``specs`` and return results in spec order.
+
+    ``workers=None`` consults :func:`default_workers`; ``1`` runs serially
+    in-process (with a shared plan cache); ``>= 2`` fans cells out to a
+    process pool.  Both paths produce byte-identical results.
+    """
+    specs = list(specs)
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(specs) <= 1:
+        cache = _process_cache()
+        return [spec.execute(planner=cache) for spec in specs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+        return list(pool.map(_execute_spec, specs))
+
+
+def make_runner(workers: Optional[int] = None) -> Runner:
+    """A :data:`~repro.link.simulator.Runner` bound to a worker count.
+
+    Inject into :func:`repro.link.simulator.sweep`,
+    :func:`repro.link.multi.broadcast_to_fleet`, or any other spec-based
+    sweep: ``sweep(device, runner=make_runner(4))``.
+    """
+
+    def runner(specs: Sequence[RunSpec]) -> List[LinkResult]:
+        return run_specs(specs, workers=workers)
+
+    return runner
+
+
+def parallel_sweep(
+    device: DeviceProfile, workers: Optional[int] = None, **sweep_kwargs
+) -> Dict[Tuple[int, float], LinkResult]:
+    """The Figs 9-11 grid through the executor; see :func:`~repro.link.simulator.sweep`."""
+    return sweep(device, runner=make_runner(workers), **sweep_kwargs)
+
+
+def parallel_fleet(
+    devices: Sequence[DeviceProfile],
+    workers: Optional[int] = None,
+    **fleet_kwargs,
+) -> FleetReport:
+    """The §8 fleet broadcast through the executor; see :func:`~repro.link.multi.broadcast_to_fleet`."""
+    return broadcast_to_fleet(devices, runner=make_runner(workers), **fleet_kwargs)

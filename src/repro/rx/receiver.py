@@ -101,6 +101,21 @@ class ReceiverReport:
         return counts
 
 
+@dataclass
+class _SegmentedFrame:
+    """One frame's calibration-independent pipeline state, computed once.
+
+    Either ``bands`` (the pre-detect segmentation, possibly empty) or
+    ``failure`` (the contained pre-detect error) is set.  Both passes of
+    :meth:`ColorBarsReceiver.process_frames` classify from this record
+    instead of re-running preprocess/segment.
+    """
+
+    frame: CapturedFrame
+    bands: list = field(default_factory=list)
+    failure: Optional[FrameFailure] = None
+
+
 class ColorBarsReceiver:
     """Frames -> payloads, with calibration and erasure-aware FEC.
 
@@ -159,20 +174,28 @@ class ColorBarsReceiver:
         packets (as a just-joined phone would wait for one), then the full
         demodulation pass.  An already-calibrated receiver decodes in one
         pass while still absorbing any new calibration packets it sees.
+
+        Only classification depends on the calibration state, so the
+        calibration-independent front half of the pipeline (preprocess ->
+        segment -> equalize) runs once per frame and is reused by both
+        passes — it dominates decode time, and recomputing it cannot change
+        any output.
         """
         report = ReceiverReport()
         if not frames:
             return report
 
+        segmented = [self._segment_frame(frame) for frame in frames]
+
         if not self.calibration.is_calibrated:
-            self._bootstrap_calibration(frames, report)
+            self._bootstrap_calibration(segmented, report)
             if not self.calibration.is_calibrated:
                 # Never saw a usable calibration packet: nothing decodable.
                 report.frames_processed = len(frames)
                 return report
 
         per_frame_bands = [
-            self._detect_frame(frame, report.frame_failures) for frame in frames
+            self._classify_frame(seg, report.frame_failures) for seg in segmented
         ]
         report.frames_processed = len(frames)
         for bands in per_frame_bands:
@@ -205,6 +228,16 @@ class ColorBarsReceiver:
         then treats it exactly like a full inter-frame gap, so one bad frame
         can never abort the session.
         """
+        return self._classify_frame(self._segment_frame(frame), failures)
+
+    def _segment_frame(self, frame: CapturedFrame) -> "_SegmentedFrame":
+        """The calibration-independent front half: preprocess -> segment.
+
+        Deterministic in the frame alone, so its result is computed once and
+        shared by the bootstrap and decode passes.  A contained failure is
+        carried in the returned record; it is reported when (and only when)
+        a pass that records failures consumes it.
+        """
         stage = "preprocess"
         try:
             scanlines = frame_to_scanline_lab(frame)
@@ -219,14 +252,36 @@ class ColorBarsReceiver:
 
                 stage = "equalize"
                 bands = deconvolve_frame(frame, bands, smear_rows)
-            stage = "detect"
-            return self.detector.detect(frame, bands)
+            return _SegmentedFrame(frame=frame, bands=bands)
+        except ColorBarsError as exc:
+            return _SegmentedFrame(
+                frame=frame,
+                failure=FrameFailure(
+                    frame_index=frame.index,
+                    stage=stage,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                ),
+            )
+
+    def _classify_frame(
+        self,
+        segmented: "_SegmentedFrame",
+        failures: Optional[List[FrameFailure]] = None,
+    ) -> List[ReceivedBand]:
+        """The calibration-dependent back half: detect, with containment."""
+        if segmented.failure is not None:
+            if failures is not None:
+                failures.append(segmented.failure)
+            return []
+        try:
+            return self.detector.detect(segmented.frame, segmented.bands)
         except ColorBarsError as exc:
             if failures is not None:
                 failures.append(
                     FrameFailure(
-                        frame_index=frame.index,
-                        stage=stage,
+                        frame_index=segmented.frame.index,
+                        stage="detect",
                         error_type=type(exc).__name__,
                         message=str(exc),
                     )
@@ -234,10 +289,10 @@ class ColorBarsReceiver:
             return []
 
     def _bootstrap_calibration(
-        self, frames: Sequence[CapturedFrame], report: ReceiverReport
+        self, segmented: Sequence["_SegmentedFrame"], report: ReceiverReport
     ) -> None:
         """First pass: find calibration packets with the bootstrap detector."""
-        per_frame_bands = [self._detect_frame(frame) for frame in frames]
+        per_frame_bands = [self._classify_frame(seg) for seg in segmented]
         items = self.assembler.stitch(per_frame_bands)
         _, calibrations = self.assembler.extract(items)
         self._absorb_calibrations(calibrations, report)

@@ -6,10 +6,13 @@ architecture is a strict bottom-up chain through the optical pipeline::
 
     exceptions -> util -> color -> phy -> {csk, fec, camera}
         -> {packet, flicker, video, faults} -> rx -> core -> link
-        -> {analysis, baselines}
+        -> {analysis, baselines, perf}
 
 (``faults`` sits between ``camera`` and ``link``: injectors transform
-captured frames, and only the link layer composes them into runs)
+captured frames, and only the link layer composes them into runs;
+``perf`` sits above ``link`` — the executor/cache/bench orchestrate link
+runs, while the link layer only *accepts* injected planners/runners and
+never imports ``perf``)
 
 with ``tooling`` off to the side (it may only see ``util``/``exceptions``)
 and the application shell (``cli``, ``__main__``, the package root) allowed
@@ -51,6 +54,7 @@ LAYER_DEPS: Dict[str, FrozenSet[str]] = {
     "link": frozenset({"core", "faults"}),
     "analysis": frozenset({"link"}),
     "baselines": frozenset({"rx"}),
+    "perf": frozenset({"link"}),
     "tooling": frozenset({"util"}),
 }
 

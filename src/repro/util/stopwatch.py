@@ -1,0 +1,56 @@
+"""Lightweight stage timing for hot-path instrumentation.
+
+:class:`StageTimings` accumulates wall-clock seconds per named pipeline
+stage (``tx-plan``, ``record``, ``decode``, ...).  It is deliberately a
+plain value object in the bottom ``util`` layer so any subsystem can attach
+timings to its results without importing the performance tooling that
+aggregates them (:mod:`repro.perf`).
+
+Timings are measurement metadata, never part of a result's semantics: two
+runs that produced identical link outcomes compare equal even though their
+timings differ (callers embedding a :class:`StageTimings` in a dataclass
+should mark the field ``compare=False``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+from repro.util.validation import require
+
+
+@dataclass
+class StageTimings:
+    """Accumulated wall-clock seconds per named stage, insertion-ordered."""
+
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Accumulate ``seconds`` onto ``stage`` (creating it at 0.0)."""
+        require(seconds >= 0.0, f"seconds must be >= 0, got {seconds}")
+        self.stages[stage] = self.stages.get(stage, 0.0) + float(seconds)
+
+    @contextmanager
+    def measure(self, stage: str) -> Iterator[None]:
+        """Context manager timing its body with ``time.perf_counter``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(stage, time.perf_counter() - start)
+
+    def total(self) -> float:
+        """Sum over every stage."""
+        return sum(self.stages.values())
+
+    def merge(self, other: "StageTimings") -> None:
+        """Accumulate another run's stages into this one (for aggregates)."""
+        for stage, seconds in other.stages.items():
+            self.add(stage, seconds)
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain ``{stage: seconds}`` copy (JSON-friendly)."""
+        return dict(self.stages)

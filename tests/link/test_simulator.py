@@ -122,6 +122,40 @@ class TestRecoveredBroadcast:
         assert result.recovered_broadcast() == payload
 
 
+class TestPayloadBytesPerCodeword:
+    """Regression: ``_k()`` must never fall back to the codeword length.
+
+    A codeword is n bytes (payload plus parity); an early version derived
+    the prefix length from ``len(codewords[0])``, which made every prefix
+    unique-but-wrong and silently broke broadcast recovery whenever the
+    code actually carried parity.
+    """
+
+    def test_config_rs_k_wins_over_codeword_length(self, config):
+        result = TestRecoveredBroadcast._result(
+            codewords=[b"colo\x01\x02"], payload=b"colo",
+            decoded_payloads=[b"colo"],
+        )
+        result.config = config
+        assert result._k() == config.rs_params().k
+        assert result._k() != len(result.plan.codewords[0])
+
+    def test_without_config_payload_length_is_k(self):
+        # Decoded payloads are k bytes by definition of the systematic code.
+        result = TestRecoveredBroadcast._result(
+            codewords=[b"colo\x01\x02"], payload=b"colo",
+            decoded_payloads=[b"colo"],
+        )
+        assert result._k() == 4
+
+    def test_without_config_or_payloads_is_degenerate(self):
+        result = TestRecoveredBroadcast._result(
+            codewords=[b"colo\x01\x02"], payload=b"colo", decoded_payloads=[]
+        )
+        assert result._k() == 0
+        assert result.recovered_broadcast() is None
+
+
 class TestSweep:
     def test_sweep_skips_infeasible_rates(self, tiny_device):
         # The tiny sensor's bands drop below 10 rows above ~1.6 kHz.

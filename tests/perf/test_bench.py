@@ -1,0 +1,127 @@
+"""The bench trajectory: pinned micro-sweep, report schema, validation."""
+
+import json
+
+import pytest
+
+from repro.exceptions import BenchError
+from repro.perf.bench import (
+    BENCH_SCHEMA_VERSION,
+    REQUIRED_KEYS,
+    bench_device,
+    format_breakdown,
+    load_and_validate,
+    micro_sweep_specs,
+    run_bench,
+    validate_report,
+    write_report,
+)
+
+
+class TestMicroSweep:
+    def test_quick_halves_the_grid(self):
+        assert len(micro_sweep_specs(quick=True)) == 2
+        assert len(micro_sweep_specs(quick=False)) == 4
+
+    def test_cells_are_pinned_and_feasible(self):
+        device = bench_device()
+        for spec in micro_sweep_specs():
+            assert spec.device.name == device.name
+            assert spec.seed == 7
+            rows = device.timing.rows_per_symbol(spec.config.symbol_rate)
+            assert rows >= 10  # the demodulation minimum
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_bench(workers=1, quick=True)
+
+    def test_report_passes_schema(self, report):
+        validate_report(report)
+        assert set(REQUIRED_KEYS) <= set(report)
+
+    def test_report_shape(self, report):
+        assert report["quick"] is True
+        assert report["cells"] == 2
+        assert report["schema_version"] == BENCH_SCHEMA_VERSION
+        for stage in ("tx-plan", "record", "decode"):
+            assert stage in report["stages_s"]
+        assert report["speedup"] > 0
+
+    def test_roundtrip_through_disk(self, report, tmp_path):
+        path = tmp_path / "BENCH_colorbars.json"
+        write_report(report, path)
+        loaded = load_and_validate(path)
+        assert loaded == json.loads(json.dumps(report))
+
+    def test_breakdown_lines(self, report):
+        lines = format_breakdown(report)
+        text = "\n".join(lines)
+        assert "serial" in text and "parallel" in text
+        assert "record" in text
+
+
+class TestValidateReport:
+    @staticmethod
+    def _valid():
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "git_rev": "abc1234",
+            "generated_unix": 1.0,
+            "workers": 2,
+            "cpu_count": 1,
+            "quick": True,
+            "cells": 2,
+            "stages_s": {"record": 1.0},
+            "wall_clock_s": {"serial": 2.0, "parallel": 1.5},
+            "cells_per_sec": {"serial": 1.0, "parallel": 1.3},
+            "speedup": 1.3,
+        }
+
+    def test_valid_report_passes(self):
+        validate_report(self._valid())
+
+    def test_missing_key_rejected(self):
+        report = self._valid()
+        del report["speedup"]
+        with pytest.raises(BenchError, match="missing keys: speedup"):
+            validate_report(report)
+
+    def test_wrong_schema_version_rejected(self):
+        report = self._valid()
+        report["schema_version"] = 99
+        with pytest.raises(BenchError, match="schema version"):
+            validate_report(report)
+
+    def test_malformed_wall_clock_rejected(self):
+        report = self._valid()
+        report["wall_clock_s"] = {"serial": 2.0}
+        with pytest.raises(BenchError, match="wall_clock_s"):
+            validate_report(report)
+
+    def test_nonpositive_timing_rejected(self):
+        report = self._valid()
+        report["cells_per_sec"]["parallel"] = 0
+        with pytest.raises(BenchError, match="cells_per_sec"):
+            validate_report(report)
+
+    def test_empty_stages_rejected(self):
+        report = self._valid()
+        report["stages_s"] = {}
+        with pytest.raises(BenchError, match="stages_s"):
+            validate_report(report)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(BenchError, match="must be an object"):
+            validate_report([])
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        with pytest.raises(BenchError, match="cannot read"):
+            load_and_validate(tmp_path / "absent.json")
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchError, match="cannot read"):
+            load_and_validate(path)

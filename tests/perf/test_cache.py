@@ -1,0 +1,117 @@
+"""Plan-cache correctness: hits are byte-identical and state never leaks."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import ColorBarsTransmitter
+from repro.exceptions import ConfigurationError
+from repro.phy.waveform import EXTEND_CYCLE
+from repro.perf.cache import PlanCache, config_cache_key
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(
+        csk_order=4, symbol_rate=1000.0, design_loss_ratio=0.25
+    )
+
+
+@pytest.fixture
+def payload(config):
+    k = config.rs_params().k
+    return bytes(range(1, 2 * k + 1))
+
+
+class TestConfigCacheKey:
+    def test_stable_for_equivalent_configs(self, config):
+        twin = SystemConfig(
+            csk_order=4, symbol_rate=1000.0, design_loss_ratio=0.25
+        )
+        assert config_cache_key(config) == config_cache_key(twin)
+
+    def test_distinguishes_on_air_parameters(self, config):
+        for other in (
+            SystemConfig(csk_order=8, symbol_rate=1000.0, design_loss_ratio=0.25),
+            SystemConfig(csk_order=4, symbol_rate=2000.0, design_loss_ratio=0.25),
+            SystemConfig(csk_order=4, symbol_rate=1000.0, design_loss_ratio=0.4),
+        ):
+            assert config_cache_key(other) != config_cache_key(config)
+
+
+class TestPlanCache:
+    def test_hit_returns_what_miss_built(self, config, payload):
+        # The memoized value must equal a from-scratch build, array for array.
+        transmitter = ColorBarsTransmitter(config)
+        fresh_plan = transmitter.plan(payload)
+        fresh_waveform = transmitter.waveform(fresh_plan, extend=EXTEND_CYCLE)
+
+        cache = PlanCache()
+        cache.plan_and_waveform(config, payload)  # miss
+        plan, waveform = cache.plan_and_waveform(config, payload)  # hit
+        assert cache.misses == 1 and cache.hits == 1
+
+        assert plan.symbols == fresh_plan.symbols
+        assert plan.codewords == fresh_plan.codewords
+        assert plan.payload == fresh_plan.payload
+        assert waveform.num_symbols == fresh_waveform.num_symbols
+        assert np.array_equal(waveform.symbol_xyz, fresh_waveform.symbol_xyz)
+
+    def test_mutate_one_check_other(self, config, payload):
+        cache = PlanCache()
+        plan_a, _ = cache.plan_and_waveform(config, payload)
+        plan_b, _ = cache.plan_and_waveform(config, payload)
+        assert plan_a is not plan_b
+
+        golden_symbols = list(plan_b.symbols)
+        golden_codewords = list(plan_b.codewords)
+        plan_a.symbols.clear()
+        plan_a.codewords.append(b"poison")
+        assert plan_b.symbols == golden_symbols
+        assert plan_b.codewords == golden_codewords
+        plan_c, _ = cache.plan_and_waveform(config, payload)
+        assert plan_c.symbols == golden_symbols
+
+    def test_waveform_shared_but_frozen(self, config, payload):
+        cache = PlanCache()
+        _, waveform_a = cache.plan_and_waveform(config, payload)
+        _, waveform_b = cache.plan_and_waveform(config, payload)
+        assert waveform_a is waveform_b
+        # freeze() marks the internal arrays read-only; in-place mutation
+        # must raise instead of corrupting the other consumers.
+        assert not waveform_a._xyz.flags.writeable
+        assert not waveform_a._cumulative.flags.writeable
+        with pytest.raises(ValueError):
+            waveform_a._xyz[0, 0] = 999.0
+
+    def test_distinct_payloads_are_distinct_entries(self, config, payload):
+        cache = PlanCache()
+        plan_a, _ = cache.plan_and_waveform(config, payload)
+        plan_b, _ = cache.plan_and_waveform(config, payload + payload)
+        assert cache.misses == 2 and len(cache) == 2
+        assert plan_a.payload != plan_b.payload
+
+    def test_fifo_eviction_bounds_entries(self, config, payload):
+        cache = PlanCache(max_entries=1)
+        cache.plan_and_waveform(config, payload)
+        cache.plan_and_waveform(config, payload + payload)
+        assert len(cache) == 1
+        cache.plan_and_waveform(config, payload)  # evicted -> rebuilt
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_clear_keeps_counters(self, config, payload):
+        cache = PlanCache()
+        cache.plan_and_waveform(config, payload)
+        cache.plan_and_waveform(config, payload)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_callable_satisfies_planner_contract(self, config, payload):
+        cache = PlanCache()
+        plan, waveform = cache(config, payload)
+        assert plan.codewords and waveform.num_symbols > 0
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ConfigurationError):
+            PlanCache(max_entries=0)

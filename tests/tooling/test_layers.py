@@ -71,3 +71,14 @@ class TestDag:
         assert is_import_allowed("analysis", "link")
         assert is_import_allowed("video", "camera")
         assert is_import_allowed("flicker", "csk")
+        assert is_import_allowed("perf", "link")
+
+    def test_perf_sits_above_link(self):
+        # The executor/cache/bench orchestrate link runs; the link layer only
+        # accepts injected planners/runners and must never import perf.
+        assert layer_of("repro.perf.executor") == "perf"
+        assert is_import_allowed("perf", "link")
+        assert is_import_allowed("perf", "core")  # transitive, via link
+        assert not is_import_allowed("link", "perf")
+        assert not is_import_allowed("analysis", "perf")
+        assert not is_import_allowed("perf", "tooling")

@@ -1,0 +1,72 @@
+"""StageTimings: accumulation, context timing, merge semantics."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.util.stopwatch import StageTimings
+
+
+class TestAdd:
+    def test_accumulates_per_stage(self):
+        timings = StageTimings()
+        timings.add("record", 0.5)
+        timings.add("record", 0.25)
+        timings.add("decode", 1.0)
+        assert timings.stages == {"record": 0.75, "decode": 1.0}
+
+    def test_insertion_order_preserved(self):
+        timings = StageTimings()
+        for stage in ("tx-plan", "record", "decode"):
+            timings.add(stage, 0.1)
+        assert list(timings.stages) == ["tx-plan", "record", "decode"]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StageTimings().add("record", -0.1)
+
+
+class TestMeasure:
+    def test_measures_body(self):
+        timings = StageTimings()
+        with timings.measure("work"):
+            sum(range(1000))
+        assert timings.stages["work"] > 0
+
+    def test_records_even_when_body_raises(self):
+        timings = StageTimings()
+        with pytest.raises(RuntimeError):
+            with timings.measure("work"):
+                raise RuntimeError("boom")
+        assert "work" in timings.stages
+
+
+class TestAggregation:
+    def test_total(self):
+        timings = StageTimings()
+        timings.add("a", 1.0)
+        timings.add("b", 2.5)
+        assert timings.total() == pytest.approx(3.5)
+
+    def test_merge_accumulates_other(self):
+        a = StageTimings()
+        a.add("record", 1.0)
+        b = StageTimings()
+        b.add("record", 0.5)
+        b.add("decode", 2.0)
+        a.merge(b)
+        assert a.stages == {"record": 1.5, "decode": 2.0}
+        assert b.stages == {"record": 0.5, "decode": 2.0}
+
+    def test_as_dict_is_a_copy(self):
+        timings = StageTimings()
+        timings.add("record", 1.0)
+        snapshot = timings.as_dict()
+        snapshot["record"] = 99.0
+        assert timings.stages["record"] == 1.0
+
+    def test_equality_compares_stages(self):
+        a = StageTimings()
+        a.add("record", 1.0)
+        b = StageTimings()
+        b.add("record", 1.0)
+        assert a == b
