@@ -30,7 +30,7 @@ from repro.camera.devices import nexus_5
 from repro.core.config import SystemConfig
 from repro.faults import FAULT_REGISTRY, make_injector
 from repro.link.simulator import LinkResult, RunSpec
-from repro.perf.executor import run_specs
+from repro.perf.runtime import run_specs_resilient
 
 INTENSITIES = (0.0, 0.1, 0.2, 0.35, 0.5)
 SEED = 1
@@ -82,9 +82,12 @@ def matrix() -> Tuple[LinkResult, MatrixResults]:
     specs = [_spec([])] + [
         _spec([make_injector(name, intensity)]) for name, intensity in keys
     ]
-    results = run_specs(specs)
-    baseline = results[0]
-    cells: MatrixResults = dict(zip(keys, results[1:]))
+    outcome = run_specs_resilient(specs)
+    # The resilient runtime contains cell failures instead of raising, so
+    # containment is now an explicit matrix assertion: no cell may fail.
+    assert not outcome.degraded, outcome.failure_summary()
+    baseline = outcome.results[0]
+    cells: MatrixResults = dict(zip(keys, outcome.results[1:]))
     return baseline, cells
 
 

@@ -16,13 +16,27 @@ from typing import List, Optional
 
 from repro.camera.devices import DeviceProfile, generic_device, iphone_5s, nexus_5
 from repro.core.config import SystemConfig
-from repro.exceptions import BenchError, FaultInjectionError, ToolingError
-from repro.faults import FAULT_REGISTRY, parse_fault_specs
-from repro.link.simulator import LinkSimulator, RunSpec
+from repro.exceptions import (
+    BenchError,
+    ConfigurationError,
+    FaultInjectionError,
+    ToolingError,
+)
+from repro.faults import CHAOS_REGISTRY, FAULT_REGISTRY, parse_chaos_specs, parse_fault_specs
+from repro.link.simulator import RunSpec
 from repro.link.workloads import text_payload
 from repro.perf.bench import BENCH_FILENAME, format_breakdown, run_bench, write_report
-from repro.perf.executor import default_workers, run_specs
+from repro.perf.executor import resolve_workers
+from repro.perf.runtime import (
+    RuntimePolicy,
+    default_cell_timeout,
+    run_specs_resilient,
+)
 from repro.tooling import ALL_RULES, format_report, get_rules, lint_tree
+
+#: Exit status for a run that completed degraded (contained cell failures)
+#: without ``--allow-degraded``.  Distinct from lint's 1 and bench's 2.
+EXIT_DEGRADED = 3
 
 _DEVICES = {
     "nexus5": nexus_5,
@@ -49,6 +63,21 @@ def _config(args: argparse.Namespace, device: DeviceProfile) -> SystemConfig:
     )
 
 
+def _runtime_policy(args, chaos=()) -> RuntimePolicy:
+    """Resilience policy from CLI flags (falling back to the environment)."""
+    timeout = getattr(args, "cell_timeout", None)
+    if timeout is None:
+        timeout = default_cell_timeout()
+    try:
+        return RuntimePolicy(
+            cell_timeout_s=timeout,
+            max_attempts=getattr(args, "max_attempts", 1),
+            chaos=tuple(chaos),
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"colorbars: {exc}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     device = _device(args.device)
     config = _config(args, device)
@@ -60,7 +89,6 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"config : {config.describe()}")
     if faults:
         print("faults : " + ", ".join(f"{f.name}:{f.intensity:g}" for f in faults))
-    simulator = LinkSimulator(config, device, seed=args.seed, faults=faults)
     payload = (
         args.message.encode("utf-8")
         if args.message
@@ -68,7 +96,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     k = config.rs_params().k
     payload = payload + bytes((-len(payload)) % k)
-    result = simulator.run(payload=payload, duration_s=args.duration)
+    spec = RunSpec(
+        config=config,
+        device=device,
+        seed=args.seed,
+        faults=faults,
+        payload=payload,
+        duration_s=args.duration,
+    )
+    outcome = run_specs_resilient([spec], workers=1, policy=_runtime_policy(args))
+    result = outcome.results[0]
+    if result is None:
+        print(f"result : FAILED — {outcome.failures[0].describe()}")
+        print(outcome.failure_summary())
+        return 0 if args.allow_degraded else EXIT_DEGRADED
     print(f"result : {result.metrics.summary()}")
     if faults:
         print(f"injected: {result.fault_schedule.summary()}")
@@ -97,7 +138,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     device = _device(args.device)
     orders = [int(o) for o in args.orders.split(",")]
     rates = [float(r) for r in args.rates.split(",")]
-    workers = args.workers if args.workers is not None else default_workers()
+    try:
+        workers = resolve_workers(args.workers)
+        chaos = parse_chaos_specs(args.chaos, seed=args.chaos_seed)
+    except ConfigurationError as exc:
+        raise SystemExit(f"colorbars: {exc}")
+    except FaultInjectionError as exc:
+        raise SystemExit(f"colorbars: bad --chaos: {exc}")
+    if args.resume and not args.journal:
+        raise SystemExit("colorbars: --resume requires --journal PATH")
+    policy = _runtime_policy(args, chaos=chaos)
     specs = {}
     for order in orders:
         for rate in rates:
@@ -112,14 +162,28 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 config=config, device=device, seed=args.seed,
                 duration_s=args.duration,
             )
-    results = dict(zip(specs, run_specs(list(specs.values()), workers=workers)))
+    outcome = run_specs_resilient(
+        list(specs.values()),
+        workers=workers,
+        policy=policy,
+        journal=args.journal,
+        resume=args.resume,
+    )
+    results = dict(zip(specs, outcome.results))
+    failure_by_index = {failure.index: failure for failure in outcome.failures}
+    keys = list(specs)
     print(f"device: {device.name} (workers: {workers})")
     print(f"{'order':>6} | {'rate':>6} | {'SER':>8} | {'tput kbps':>9} | {'good kbps':>9}")
     for order in orders:
         for rate in rates:
+            if (order, rate) not in specs:
+                print(f"{order:>6} | {rate:>6.0f} | {'(band < 10 px)':>32}")
+                continue
             result = results.get((order, rate))
             if result is None:
-                print(f"{order:>6} | {rate:>6.0f} | {'(band < 10 px)':>32}")
+                failure = failure_by_index.get(keys.index((order, rate)))
+                cause = failure.cause if failure is not None else "unknown"
+                print(f"{order:>6} | {rate:>6.0f} | {'FAILED (' + cause + ')':>32}")
                 continue
             m = result.metrics
             print(
@@ -127,6 +191,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f" | {m.throughput_bps / 1000:9.2f}"
                 f" | {m.goodput_bps / 1000:9.2f}"
             )
+    if outcome.resumed:
+        print(f"resumed: {outcome.resumed} cell(s) restored from {args.journal}")
+    if outcome.failures:
+        print(outcome.failure_summary())
+        return 0 if args.allow_degraded else EXIT_DEGRADED
     return 0
 
 
@@ -194,6 +263,39 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--rate", type=float, default=2000.0, help="symbols per second")
         p.add_argument("--seed", type=int, default=0)
 
+    def resilience(p, journal: bool = False):
+        p.add_argument(
+            "--cell-timeout", type=float, default=None, metavar="SECONDS",
+            help="watchdog deadline per cell "
+            "(default: $COLORBARS_CELL_TIMEOUT or off)",
+        )
+        p.add_argument(
+            "--max-attempts", type=int, default=1, metavar="N",
+            help="attempts per cell before it is recorded as failed (default 1)",
+        )
+        p.add_argument(
+            "--allow-degraded", action="store_true",
+            help="exit 0 even when some cells failed (default: exit 3)",
+        )
+        if journal:
+            p.add_argument(
+                "--journal", default=None, metavar="PATH",
+                help="append each completed cell to a JSONL checkpoint journal",
+            )
+            p.add_argument(
+                "--resume", action="store_true",
+                help="skip cells already recorded in --journal",
+            )
+            p.add_argument(
+                "--chaos", action="append", metavar="NAME:INTENSITY",
+                help="inject process-level chaos (repeatable); names: "
+                + ", ".join(sorted(CHAOS_REGISTRY)),
+            )
+            p.add_argument(
+                "--chaos-seed", type=int, default=0,
+                help="seed for the deterministic chaos schedule",
+            )
+
     run_p = sub.add_parser(
         "run",
         aliases=["simulate"],
@@ -209,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a fault (repeatable); names: "
         + ", ".join(sorted(FAULT_REGISTRY)),
     )
+    resilience(run_p)
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="sweep CSK orders x symbol rates")
@@ -221,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="parallel sweep processes (default: $COLORBARS_WORKERS or 1)",
     )
+    resilience(sweep_p, journal=True)
     sweep_p.set_defaults(func=cmd_sweep)
 
     bench_p = sub.add_parser(

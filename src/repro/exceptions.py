@@ -103,6 +103,40 @@ class FrameFailure:
     message: str
 
 
+@dataclass(frozen=True)
+class CellFailure:
+    """One contained sweep-cell failure (the resilient-runtime record).
+
+    The resilient executor (:mod:`repro.perf.runtime`) never lets one cell
+    kill a sweep; instead the cell's outcome becomes this record — which
+    spec (by fingerprint), which position, why (cause taxonomy below), and
+    after how many attempts — surfaced on sweep reports and the CLI.
+
+    ``cause`` is one of:
+
+    * ``"crash"`` — the worker process died (e.g. ``BrokenProcessPool``);
+    * ``"timeout"`` — the cell exceeded its watchdog deadline and was killed;
+    * ``"error"`` — the cell raised an exception in-process.
+    """
+
+    fingerprint: str
+    index: int
+    cause: str
+    attempts: int
+    error_type: str
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"cell {self.index} [{self.fingerprint[:12]}] {self.cause} "
+            f"after {self.attempts} attempt(s): {self.error_type}: {self.message}"
+        )
+
+
+class JournalError(ColorBarsError):
+    """A sweep run journal is unreadable or violates its schema."""
+
+
 class ToolingError(ColorBarsError):
     """A development tool (e.g. ``reprolint``) was misconfigured or misused."""
 

@@ -21,6 +21,16 @@ from repro.faults.base import (
     FaultSchedule,
     validate_intensity,
 )
+from repro.faults.chaos import (
+    CHAOS_REGISTRY,
+    CellHangChaos,
+    ProcessChaos,
+    SlowCellChaos,
+    WorkerCrashChaos,
+    make_chaos,
+    parse_chaos_spec,
+    parse_chaos_specs,
+)
 from repro.faults.injectors import (
     FAULT_REGISTRY,
     FrameDropInjector,
@@ -38,6 +48,14 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "validate_intensity",
+    "CHAOS_REGISTRY",
+    "CellHangChaos",
+    "ProcessChaos",
+    "SlowCellChaos",
+    "WorkerCrashChaos",
+    "make_chaos",
+    "parse_chaos_spec",
+    "parse_chaos_specs",
     "FAULT_REGISTRY",
     "FrameDropInjector",
     "OcclusionInjector",

@@ -1,12 +1,18 @@
-"""Performance subsystem: parallel sweep execution, caching, instrumentation.
+"""Performance subsystem: parallel execution, resilience, caching, bench.
 
-Three pieces (DESIGN.md §5d):
+Four pieces (DESIGN.md §5d-§5e):
 
 * :mod:`repro.perf.executor` — runs any list of independent
   :class:`~repro.link.simulator.RunSpec` cells over a process pool,
   bit-identical to the serial path by construction (each cell derives all
   randomness from its own seed).  ``COLORBARS_WORKERS`` / ``--workers``
   select the pool size; 1 is serial.
+* :mod:`repro.perf.runtime` — the resilient execution layer over the
+  executor: per-cell watchdog timeouts (``COLORBARS_CELL_TIMEOUT`` /
+  ``--cell-timeout``), crash containment into structured
+  :class:`~repro.exceptions.CellFailure` records, bounded seed-stable
+  retry, and a JSONL checkpoint journal with ``--resume`` — plus the
+  process-level chaos injectors of :mod:`repro.faults.chaos` to prove it.
 * :mod:`repro.perf.cache` — memoizes the transmitter plan + optical
   waveform per ``(config, payload)`` so fleet/resilience sweeps stop
   rebuilding the identical broadcast per cell.
@@ -35,7 +41,20 @@ from repro.perf.executor import (
     make_runner,
     parallel_fleet,
     parallel_sweep,
+    resolve_workers,
     run_specs,
+    validate_workers,
+)
+from repro.perf.runtime import (
+    CELL_TIMEOUT_ENV,
+    RunJournal,
+    RuntimePolicy,
+    RuntimeResult,
+    default_cell_timeout,
+    resilient_fleet,
+    resilient_runner,
+    run_specs_resilient,
+    spec_fingerprint,
 )
 
 __all__ = [
@@ -54,5 +73,16 @@ __all__ = [
     "make_runner",
     "parallel_fleet",
     "parallel_sweep",
+    "resolve_workers",
     "run_specs",
+    "validate_workers",
+    "CELL_TIMEOUT_ENV",
+    "RunJournal",
+    "RuntimePolicy",
+    "RuntimeResult",
+    "default_cell_timeout",
+    "resilient_fleet",
+    "resilient_runner",
+    "run_specs_resilient",
+    "spec_fingerprint",
 ]

@@ -6,7 +6,10 @@ once serially and once through the process-pool executor, and reports:
 * wall-clock per pipeline stage (tx-plan / record / inject / decode /
   metrics), summed over the serial run's cells,
 * cells/sec for both modes and the parallel speedup,
-* environment provenance (git revision, CPU count, worker count).
+* environment provenance (git revision, CPU count, worker count),
+* contained cell failures (both legs run under the resilient runtime), and
+* a bounded ``history`` of prior reports — rerunning the bench folds the
+  previous report in instead of clobbering the trajectory.
 
 The JSON report (``BENCH_colorbars.json``) is the contract CI asserts and
 archives; keep :data:`REQUIRED_KEYS` stable (grow the schema by bumping
@@ -33,14 +36,20 @@ from repro.camera.sensor import SensorTiming
 from repro.core.config import SystemConfig
 from repro.exceptions import BenchError
 from repro.link.simulator import LinkResult, RunSpec
-from repro.perf.executor import run_specs
+from repro.perf.runtime import RuntimePolicy, run_specs_resilient
 from repro.util.stopwatch import StageTimings
 
 #: Bump when the report layout changes; validators check it exactly.
-BENCH_SCHEMA_VERSION = 1
+#: v2 added ``failures`` (resilient-runtime cell failures during the bench)
+#: and ``history`` (bounded list of prior reports, so the perf trajectory
+#: survives reruns instead of being clobbered).
+BENCH_SCHEMA_VERSION = 2
 
 #: Default output path (repo root by convention).
 BENCH_FILENAME = "BENCH_colorbars.json"
+
+#: Prior runs kept in a report's ``history`` (most recent last).
+MAX_HISTORY = 20
 
 #: Every key a valid report must carry.
 REQUIRED_KEYS = (
@@ -51,10 +60,12 @@ REQUIRED_KEYS = (
     "cpu_count",
     "quick",
     "cells",
+    "failures",
     "stages_s",
     "wall_clock_s",
     "cells_per_sec",
     "speedup",
+    "history",
 )
 
 #: The pinned micro-sweep: small enough to finish in seconds, large enough
@@ -112,20 +123,27 @@ def micro_sweep_specs(quick: bool = False) -> List[RunSpec]:
 
 
 def run_bench(workers: int = 4, quick: bool = False) -> Dict:
-    """Execute the micro-sweep serially and at ``workers``, return the report."""
+    """Execute the micro-sweep serially and at ``workers``, return the report.
+
+    Both legs run through the resilient runtime (containment only — no
+    watchdog, no retry), so a crashing cell degrades the report into a
+    nonzero ``failures`` count instead of killing the bench.
+    """
     specs = micro_sweep_specs(quick=quick)
+    policy = RuntimePolicy()
 
     serial_start = time.perf_counter()
-    serial_results = run_specs(specs, workers=1)
+    serial = run_specs_resilient(specs, workers=1, policy=policy)
     serial_wall = time.perf_counter() - serial_start
 
     parallel_start = time.perf_counter()
-    run_specs(specs, workers=workers)
+    parallel = run_specs_resilient(specs, workers=workers, policy=policy)
     parallel_wall = time.perf_counter() - parallel_start
 
     stages = StageTimings()
-    for result in serial_results:
-        stages.merge(result.timings)
+    for result in serial.results:
+        if result is not None:
+            stages.merge(result.timings)
 
     cells = len(specs)
     return {
@@ -136,6 +154,8 @@ def run_bench(workers: int = 4, quick: bool = False) -> Dict:
         "cpu_count": _cpu_count(),
         "quick": quick,
         "cells": cells,
+        "failures": len(serial.failures) + len(parallel.failures),
+        "history": [],
         "stages_s": {
             stage: round(seconds, 4) for stage, seconds in stages.as_dict().items()
         },
@@ -171,11 +191,48 @@ def format_breakdown(report: Dict) -> List[str]:
         f"parallel: {wall['parallel']:.3f} s ({cps['parallel']:.2f} cells/s) "
         f"at {report['workers']} workers -> speedup {report['speedup']:.2f}x"
     )
+    if report.get("failures"):
+        lines.append(
+            f"DEGRADED: {report['failures']} cell failure(s) contained "
+            "during the bench"
+        )
+    if report.get("history"):
+        lines.append(f"history : {len(report['history'])} prior run(s) kept")
     return lines
 
 
+def _prior_history(path) -> List[Dict]:
+    """History carried over from an existing report at ``path``.
+
+    The previous report (sans its own history) becomes the newest history
+    entry; unreadable or foreign files contribute nothing, so the bench
+    never refuses to write over a corrupt report.
+    """
+    try:
+        prior = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return []
+    if not isinstance(prior, dict) or "schema_version" not in prior:
+        return []
+    history = prior.get("history")
+    entries = (
+        [entry for entry in history if isinstance(entry, dict)]
+        if isinstance(history, list)
+        else []
+    )
+    entries.append({k: v for k, v in prior.items() if k != "history"})
+    return entries[-MAX_HISTORY:]
+
+
 def write_report(report: Dict, path) -> None:
-    """Validate then write the report as pretty JSON."""
+    """Validate then write the report as pretty JSON.
+
+    An existing report at ``path`` is not clobbered: it (and its own
+    bounded history) is folded into the new report's ``history`` list, so
+    the perf trajectory accumulates across reruns.
+    """
+    report = dict(report)
+    report["history"] = _prior_history(path)
     validate_report(report)
     Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
@@ -203,6 +260,20 @@ def validate_report(report: Dict) -> None:
         raise BenchError("stages_s must be a non-empty object")
     if not isinstance(report["speedup"], (int, float)) or report["speedup"] <= 0:
         raise BenchError(f"speedup must be positive, got {report['speedup']!r}")
+    failures = report["failures"]
+    if not isinstance(failures, int) or isinstance(failures, bool) or failures < 0:
+        raise BenchError(
+            f"failures must be a non-negative integer, got {failures!r}"
+        )
+    history = report["history"]
+    if not isinstance(history, list) or not all(
+        isinstance(entry, dict) for entry in history
+    ):
+        raise BenchError("history must be a list of prior report objects")
+    if len(history) > MAX_HISTORY:
+        raise BenchError(
+            f"history must keep at most {MAX_HISTORY} entries, got {len(history)}"
+        )
 
 
 def load_and_validate(path) -> Dict:

@@ -32,22 +32,57 @@ from repro.perf.cache import PlanCache
 WORKERS_ENV = "COLORBARS_WORKERS"
 
 
+def validate_workers(workers, source: str = "workers") -> int:
+    """The one worker-count validator every call site routes through.
+
+    ``source`` names the knob in the error message (``workers``, the CLI
+    flag, or :data:`WORKERS_ENV`), so the same rule reads the same
+    everywhere: a worker count is a positive integer.  Digit strings are
+    accepted (the environment can only supply strings); fractional values
+    are rejected rather than silently truncated.
+    """
+    try:
+        value = int(workers)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"{source} must be a positive integer, got {workers!r}"
+        ) from None
+    if isinstance(workers, bool) or (
+        isinstance(workers, float) and value != workers
+    ):
+        raise ConfigurationError(
+            f"{source} must be a positive integer, got {workers!r}"
+        )
+    if value < 1:
+        raise ConfigurationError(
+            f"{source} must be a positive integer, got {workers!r}"
+        )
+    return value
+
+
+def resolve_workers(workers: Optional[int] = None, cell_count: Optional[int] = None) -> int:
+    """Validated, clamped worker count for a sweep of ``cell_count`` cells.
+
+    ``None`` consults :func:`default_workers`; explicit values go through
+    :func:`validate_workers`; and a pool never exceeds the number of cells
+    it will actually run (``cell_count``, when known) — spawning idle
+    workers is pure startup cost.
+    """
+    if workers is None:
+        workers = default_workers()
+    else:
+        workers = validate_workers(workers)
+    if cell_count is not None:
+        workers = max(1, min(workers, cell_count))
+    return workers
+
+
 def default_workers() -> int:
     """Worker count from :data:`WORKERS_ENV`, defaulting to 1 (serial)."""
     raw = os.environ.get(WORKERS_ENV)
     if raw is None or not raw.strip():
         return 1
-    try:
-        workers = int(raw)
-    except ValueError:
-        raise ConfigurationError(
-            f"{WORKERS_ENV} must be a positive integer, got {raw!r}"
-        ) from None
-    if workers < 1:
-        raise ConfigurationError(
-            f"{WORKERS_ENV} must be a positive integer, got {raw!r}"
-        )
-    return workers
+    return validate_workers(raw.strip(), source=WORKERS_ENV)
 
 
 #: Per-process plan cache for pool workers: one per forked/spawned worker,
@@ -77,14 +112,11 @@ def run_specs(
     process pool.  Both paths produce byte-identical results.
     """
     specs = list(specs)
-    if workers is None:
-        workers = default_workers()
-    if workers < 1:
-        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    workers = resolve_workers(workers, cell_count=len(specs))
     if workers == 1 or len(specs) <= 1:
         cache = _process_cache()
         return [spec.execute(planner=cache) for spec in specs]
-    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+    with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(_execute_spec, specs))
 
 

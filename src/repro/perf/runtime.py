@@ -1,0 +1,592 @@
+"""Resilient sweep runtime: watchdogs, crash containment, retry, journal.
+
+The PR 3 executor (:mod:`repro.perf.executor`) made sweeps *fast*; this
+module makes them *survivable*.  ``run_specs`` fans cells out through a
+bare ``pool.map``, so one hung cell stalls a sweep forever, one dead worker
+raises ``BrokenProcessPool`` and discards every finished result, and an
+interrupted two-hour grid restarts from zero.  :func:`run_specs_resilient`
+wraps the same seeded-cell model in four protections:
+
+* **Watchdog timeouts** — every cell runs under a deadline
+  (``cell_timeout_s``, or the ``COLORBARS_CELL_TIMEOUT`` environment
+  switch).  An overdue cell is killed with its pool and recorded; the sweep
+  never hangs.  Deadlines are measured from dispatch-to-worker, a
+  conservative overestimate of pure compute time (in-flight submissions are
+  capped at the pool width, so queueing never inflates a deadline by more
+  than one cell).
+* **Crash containment** — a dead worker (``BrokenProcessPool``) or a cell
+  exception becomes a structured :class:`~repro.exceptions.CellFailure`
+  (spec fingerprint, attempt count, cause taxonomy crash/timeout/error),
+  the pool is rebuilt, and the remaining cells continue.  Sweeps return
+  degraded results instead of dying.
+* **Bounded retry with deterministic backoff** — failed cells retry up to
+  ``max_attempts`` times.  The backoff schedule is seed-stable (a pure
+  function of the cell's seed and the attempt number), and a retried cell
+  re-derives *all* of its randomness from its own seed, so retries cannot
+  change any result — the executor's bit-identical-to-serial contract holds
+  by construction.
+* **Journaled checkpoint/resume** — a JSONL :class:`RunJournal` keyed by
+  :func:`spec_fingerprint` records each completed cell as it finishes;
+  ``resume=True`` skips already-journaled cells, so a killed sweep resumes
+  where it stopped and the resumed result set is byte-identical to an
+  uninterrupted run.
+
+Process-level chaos (:mod:`repro.faults.chaos`) tests all of this the way
+PR 2's frame injectors tested the receiver: the runtime ships the chaos
+tuple to each worker, and — because a ``worker-crash`` in-process would
+take the caller down — forces process isolation whenever chaos, a timeout,
+or ``workers > 1`` is configured.  A plain ``workers=1`` run with neither
+stays fully in-process, exactly like the fast path.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.camera.devices import DeviceProfile
+from repro.exceptions import CellFailure, ConfigurationError, JournalError
+from repro.faults.chaos import ProcessChaos
+from repro.link.multi import FleetReport, fleet_report_from_results, fleet_specs
+from repro.link.simulator import LinkResult, RunSpec
+from repro.perf.executor import _process_cache, resolve_workers
+from repro.util.rng import derive_rng, make_rng
+
+#: Environment switch: ``COLORBARS_CELL_TIMEOUT=120`` puts every sweep cell
+#: under a two-minute watchdog unless the call pins an explicit policy.
+CELL_TIMEOUT_ENV = "COLORBARS_CELL_TIMEOUT"
+
+#: Journal record layout version; bump when the record shape changes.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Pickle protocol pinned for stable fingerprints and journal payloads.
+_PICKLE_PROTOCOL = 4
+
+#: Poll interval of the supervision loop, seconds.
+_TICK_S = 0.1
+
+
+def default_cell_timeout() -> Optional[float]:
+    """Watchdog deadline from :data:`CELL_TIMEOUT_ENV`, or ``None`` (off)."""
+    raw = os.environ.get(CELL_TIMEOUT_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{CELL_TIMEOUT_ENV} must be a positive number of seconds, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigurationError(
+            f"{CELL_TIMEOUT_ENV} must be a positive number of seconds, got {raw!r}"
+        )
+    return value
+
+
+def spec_fingerprint(spec: RunSpec) -> str:
+    """A stable content hash of one cell: the journal/failure identity.
+
+    Two specs built from the same parameters fingerprint identically (the
+    hash covers the pickled value object — config, device, channel, seed,
+    columns, faults, payload, duration), so a resumed sweep recognizes its
+    own cells across processes and sessions.
+    """
+    return hashlib.sha256(
+        pickle.dumps(spec, protocol=_PICKLE_PROTOCOL)
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class RuntimePolicy:
+    """Resilience knobs for one sweep execution.
+
+    ``cell_timeout_s=None`` disables the watchdog; ``max_attempts=1``
+    disables retry; an empty ``chaos`` tuple injects nothing.  The default
+    policy is therefore exactly the PR 3 behavior plus containment.
+    """
+
+    cell_timeout_s: Optional[float] = None
+    max_attempts: int = 1
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    chaos: Tuple[ProcessChaos, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.cell_timeout_s is not None and not self.cell_timeout_s > 0:
+            raise ConfigurationError(
+                f"cell_timeout_s must be positive, got {self.cell_timeout_s!r}"
+            )
+        if int(self.max_attempts) != self.max_attempts or self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be a positive integer, got {self.max_attempts!r}"
+            )
+        if self.backoff_base_s < 0:
+            raise ConfigurationError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s!r}"
+            )
+        if self.backoff_factor < 1:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+
+    def needs_isolation(self) -> bool:
+        """Whether cells must run in worker processes even at ``workers=1``.
+
+        A watchdog can only cancel a cell it can kill, and process chaos
+        must never strike the caller's own process.
+        """
+        return self.cell_timeout_s is not None or bool(self.chaos)
+
+
+def backoff_delay_s(policy: RuntimePolicy, spec_seed: int, attempt: int) -> float:
+    """Seed-stable delay before retry ``attempt`` (attempt numbering from 2).
+
+    Exponential in the attempt number with a deterministic jitter derived
+    from the cell's own seed — two runs of the same sweep back off on the
+    same schedule, and cells with different seeds desynchronize instead of
+    thundering back in lockstep.
+    """
+    if policy.backoff_base_s <= 0.0:
+        return 0.0
+    delay = policy.backoff_base_s * policy.backoff_factor ** max(0, attempt - 2)
+    jitter = derive_rng(
+        make_rng(spec_seed), f"runtime:backoff:attempt:{attempt}"
+    ).random()
+    return float(delay * (1.0 + 0.25 * float(jitter)))
+
+
+class RunJournal:
+    """Append-only JSONL checkpoint of completed cells, keyed by fingerprint.
+
+    Each line is a self-describing record::
+
+        {"schema": 1, "fingerprint": "<sha256>", "result": "<base64 pickle>"}
+
+    Appends flush per cell, so a killed sweep loses at most the cell that
+    was mid-write; :meth:`load` skips unparseable (truncated) lines rather
+    than failing resume — an unreadable cell simply reruns.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> Dict[str, LinkResult]:
+        """Fingerprint -> result for every readable journaled cell."""
+        entries: Dict[str, LinkResult] = {}
+        if not self.path.exists():
+            return entries
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError as exc:
+            raise JournalError(f"cannot read journal {self.path}: {exc}") from exc
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # truncated mid-write; the cell just reruns
+            if not isinstance(record, dict):
+                continue
+            schema = record.get("schema")
+            if schema != JOURNAL_SCHEMA_VERSION:
+                raise JournalError(
+                    f"journal {self.path} has schema {schema!r}, "
+                    f"expected {JOURNAL_SCHEMA_VERSION}"
+                )
+            try:
+                fingerprint = record["fingerprint"]
+                result = pickle.loads(base64.b64decode(record["result"]))
+            except Exception:  # corrupt payload: rerun that cell
+                continue
+            if isinstance(fingerprint, str) and isinstance(result, LinkResult):
+                entries[fingerprint] = result
+        return entries
+
+    def append(self, fingerprint: str, result: LinkResult) -> None:
+        """Record one completed cell (flushed immediately)."""
+        record = {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "result": base64.b64encode(
+                pickle.dumps(result, protocol=_PICKLE_PROTOCOL)
+            ).decode("ascii"),
+        }
+        try:
+            with self.path.open("a", encoding="ascii") as handle:
+                handle.write(json.dumps(record) + "\n")
+                handle.flush()
+        except OSError as exc:
+            raise JournalError(f"cannot append to journal {self.path}: {exc}") from exc
+
+    def discard(self) -> None:
+        """Delete the journal file (fresh non-resume runs start clean)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise JournalError(f"cannot reset journal {self.path}: {exc}") from exc
+
+
+@dataclass
+class RuntimeResult:
+    """What a resilient sweep produced: results in spec order, plus damage.
+
+    ``results[i]`` is ``None`` exactly when spec ``i`` has a matching entry
+    in ``failures``; ``resumed`` counts cells satisfied from the journal
+    without re-execution.
+    """
+
+    results: List[Optional[LinkResult]]
+    failures: List[CellFailure] = field(default_factory=list)
+    resumed: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failures)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for result in self.results if result is not None)
+
+    def failure_summary(self) -> str:
+        """One line for CLI/reports: how many cells failed, and why."""
+        if not self.failures:
+            return f"ok: {self.completed}/{len(self.results)} cells completed"
+        counts: Dict[str, int] = {}
+        for failure in self.failures:
+            counts[failure.cause] = counts.get(failure.cause, 0) + 1
+        causes = ", ".join(
+            f"{cause}={count}" for cause, count in sorted(counts.items())
+        )
+        return (
+            f"degraded: {len(self.failures)}/{len(self.results)} cells failed "
+            f"({causes})"
+        )
+
+
+@dataclass
+class _Cell:
+    """Mutable supervision state for one spec while the runtime runs it."""
+
+    index: int
+    spec: RunSpec
+    fingerprint: str
+    attempt: int = 1
+    #: Dispatch time of the current attempt (watchdog reference), or None.
+    started_at: Optional[float] = None
+    #: Earliest monotonic time the next attempt may be submitted (backoff).
+    ready_at: float = 0.0
+
+
+def _execute_cell(
+    index: int, spec: RunSpec, attempt: int, chaos: Tuple[ProcessChaos, ...]
+) -> LinkResult:
+    """Worker-side cell entry point: chaos first, then the real run."""
+    for injector in chaos:
+        injector.before_cell(cell_index=index, attempt=attempt)
+    return spec.execute(planner=_process_cache())
+
+
+def run_specs_resilient(
+    specs: Sequence[RunSpec],
+    workers: Optional[int] = None,
+    policy: Optional[RuntimePolicy] = None,
+    journal=None,
+    resume: bool = False,
+) -> RuntimeResult:
+    """Execute ``specs`` with watchdogs, containment, retry, and journaling.
+
+    ``workers=None`` consults ``COLORBARS_WORKERS`` (clamped to the cell
+    count); ``policy=None`` builds a default whose watchdog comes from
+    ``COLORBARS_CELL_TIMEOUT``.  ``journal`` is a path or :class:`RunJournal`;
+    without ``resume`` an existing journal file is discarded first, with
+    ``resume`` its cells are spliced into the results unrun.  Successful
+    cells are byte-identical to :func:`repro.perf.executor.run_specs` —
+    resilience only changes what happens to the unsuccessful ones.
+    """
+    specs = list(specs)
+    if policy is None:
+        policy = RuntimePolicy(cell_timeout_s=default_cell_timeout())
+    workers = resolve_workers(workers, cell_count=len(specs))
+    if journal is not None and not isinstance(journal, RunJournal):
+        journal = RunJournal(journal)
+
+    results: List[Optional[LinkResult]] = [None] * len(specs)
+    failures: List[CellFailure] = []
+    journaled: Dict[str, LinkResult] = {}
+    if journal is not None:
+        if resume:
+            journaled = journal.load()
+        else:
+            journal.discard()
+
+    resumed = 0
+    cells: List[_Cell] = []
+    for index, spec in enumerate(specs):
+        fingerprint = spec_fingerprint(spec)
+        prior = journaled.get(fingerprint)
+        if prior is not None:
+            results[index] = prior
+            resumed += 1
+        else:
+            cells.append(_Cell(index=index, spec=spec, fingerprint=fingerprint))
+
+    if cells:
+        if workers > 1 or policy.needs_isolation():
+            _run_isolated(cells, workers, policy, journal, results, failures)
+        else:
+            _run_inline(cells, policy, journal, results, failures)
+    return RuntimeResult(results=results, failures=failures, resumed=resumed)
+
+
+def _record_success(
+    cell: _Cell,
+    result: LinkResult,
+    journal: Optional[RunJournal],
+    results: List[Optional[LinkResult]],
+) -> None:
+    results[cell.index] = result
+    if journal is not None:
+        journal.append(cell.fingerprint, result)
+
+
+def _failure(cell: _Cell, cause: str, error_type: str, message: str) -> CellFailure:
+    return CellFailure(
+        fingerprint=cell.fingerprint,
+        index=cell.index,
+        cause=cause,
+        attempts=cell.attempt,
+        error_type=error_type,
+        message=message,
+    )
+
+
+def _retry_or_fail(
+    cell: _Cell,
+    cause: str,
+    error_type: str,
+    message: str,
+    pending: Deque[_Cell],
+    failures: List[CellFailure],
+    policy: RuntimePolicy,
+    now: float,
+) -> None:
+    """Requeue the cell for its next attempt, or record its final failure."""
+    if cell.attempt < policy.max_attempts:
+        cell.ready_at = now + backoff_delay_s(policy, cell.spec.seed, cell.attempt + 1)
+        cell.attempt += 1
+        cell.started_at = None
+        pending.append(cell)
+    else:
+        failures.append(_failure(cell, cause, error_type, message))
+
+
+def _run_inline(
+    cells: List[_Cell],
+    policy: RuntimePolicy,
+    journal: Optional[RunJournal],
+    results: List[Optional[LinkResult]],
+    failures: List[CellFailure],
+) -> None:
+    """The fully in-process path: no pool, no watchdog, still contained."""
+    cache = _process_cache()
+    for cell in cells:
+        while True:
+            try:
+                result = cell.spec.execute(planner=cache)
+            except Exception as exc:
+                if cell.attempt < policy.max_attempts:
+                    time.sleep(
+                        backoff_delay_s(policy, cell.spec.seed, cell.attempt + 1)
+                    )
+                    cell.attempt += 1
+                    continue
+                failures.append(
+                    _failure(cell, "error", type(exc).__name__, str(exc))
+                )
+                break
+            _record_success(cell, result, journal, results)
+            break
+
+
+def _teardown_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool hard: terminate every worker, then release the executor.
+
+    ``shutdown`` alone cannot clear a hung worker — the hang *is* the
+    running task — so the watchdog terminates the processes first; the
+    executor's management thread then observes the deaths and unblocks.
+    """
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.terminate()
+        except OSError:
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _run_isolated(
+    cells: List[_Cell],
+    workers: int,
+    policy: RuntimePolicy,
+    journal: Optional[RunJournal],
+    results: List[Optional[LinkResult]],
+    failures: List[CellFailure],
+) -> None:
+    """The supervised pool path: watchdog, crash containment, retry.
+
+    In-flight submissions are capped at the pool width, so (a) a broken
+    pool takes down at most ``workers`` attempts, and (b) a cell's deadline
+    starts when a worker slot is actually dedicated to it.  Cells caught in
+    a teardown they did not cause (pool-mates of a crasher or a hung cell
+    observed before their own deadline) are resubmitted at the *same*
+    attempt number — only a cell's own crash, timeout, or error consumes
+    one of its attempts.
+    """
+    pending: Deque[_Cell] = deque(cells)
+    active: Dict[Future, _Cell] = {}
+    pool: Optional[ProcessPoolExecutor] = None
+    pool_width = 0
+    try:
+        while pending or active:
+            now = time.monotonic()
+            if pool is None and any(c.ready_at <= now for c in pending):
+                pool_width = max(1, min(workers, len(pending)))
+                pool = ProcessPoolExecutor(max_workers=pool_width)
+            while pool is not None and len(active) < pool_width:
+                cell = next((c for c in pending if c.ready_at <= now), None)
+                if cell is None:
+                    break
+                pending.remove(cell)
+                cell.started_at = time.monotonic()
+                future = pool.submit(
+                    _execute_cell, cell.index, cell.spec, cell.attempt, policy.chaos
+                )
+                active[future] = cell
+
+            if not active:
+                # Everything runnable is backing off; sleep to the gate.
+                wake = min(c.ready_at for c in pending)
+                time.sleep(max(0.0, min(wake - time.monotonic(), _TICK_S)))
+                continue
+
+            done, _ = futures_wait(
+                set(active), timeout=_TICK_S, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            pool_broke = False
+            for future in done:
+                cell = active.pop(future)
+                error = future.exception()
+                if error is None:
+                    _record_success(cell, future.result(), journal, results)
+                elif isinstance(error, BrokenProcessPool):
+                    pool_broke = True
+                    _retry_or_fail(
+                        cell, "crash", type(error).__name__,
+                        "worker process died", pending, failures, policy, now,
+                    )
+                else:
+                    _retry_or_fail(
+                        cell, "error", type(error).__name__, str(error),
+                        pending, failures, policy, now,
+                    )
+
+            if pool_broke:
+                # Every other in-flight attempt died with the pool; each
+                # consumes an attempt (the crasher is indistinguishable
+                # from its pool-mates once the pool is broken).
+                for future, cell in list(active.items()):
+                    _retry_or_fail(
+                        cell, "crash", "BrokenProcessPool",
+                        "worker process died", pending, failures, policy, now,
+                    )
+                active.clear()
+                _teardown_pool(pool)
+                pool = None
+                continue
+
+            if policy.cell_timeout_s is not None and active:
+                overdue = [
+                    (future, cell)
+                    for future, cell in active.items()
+                    if cell.started_at is not None
+                    and now - cell.started_at > policy.cell_timeout_s
+                ]
+                if overdue:
+                    for future, cell in overdue:
+                        active.pop(future)
+                        _retry_or_fail(
+                            cell, "timeout", "TimeoutError",
+                            f"cell exceeded {policy.cell_timeout_s:g}s watchdog "
+                            f"deadline on attempt {cell.attempt}",
+                            pending, failures, policy, now,
+                        )
+                    for future, cell in list(active.items()):
+                        # Innocent pool-mates: rerun at the same attempt.
+                        cell.started_at = None
+                        pending.append(cell)
+                    active.clear()
+                    _teardown_pool(pool)
+                    pool = None
+    finally:
+        if pool is not None:
+            _teardown_pool(pool)
+
+
+def resilient_runner(
+    workers: Optional[int] = None, policy: Optional[RuntimePolicy] = None
+):
+    """A :data:`~repro.link.simulator.Runner`-shaped resilient executor.
+
+    Unlike :func:`repro.perf.executor.make_runner`, the returned callable
+    yields ``RuntimeResult`` (results may contain ``None``); callers that
+    need the plain ``Runner`` contract should keep using the fast path.
+    """
+
+    def runner(specs: Sequence[RunSpec]) -> RuntimeResult:
+        return run_specs_resilient(specs, workers=workers, policy=policy)
+
+    return runner
+
+
+def resilient_fleet(
+    devices: Sequence[DeviceProfile],
+    workers: Optional[int] = None,
+    policy: Optional[RuntimePolicy] = None,
+    journal=None,
+    resume: bool = False,
+    **fleet_kwargs,
+) -> FleetReport:
+    """The §8 fleet broadcast through the resilient runtime.
+
+    Failed member runs surface as ``FleetReport.failures`` (and per-member
+    ``failure`` records) instead of aborting the whole broadcast — the
+    deployment question §8 asks survives a flaky worker.
+    """
+    compare_dedicated = fleet_kwargs.get("compare_dedicated", True)
+    specs = fleet_specs(devices, **fleet_kwargs)
+    outcome = run_specs_resilient(
+        specs, workers=workers, policy=policy, journal=journal, resume=resume
+    )
+    return fleet_report_from_results(
+        devices,
+        specs,
+        outcome.results,
+        compare_dedicated=compare_dedicated,
+        failures=outcome.failures,
+    )

@@ -7,6 +7,7 @@ import pytest
 from repro.exceptions import BenchError
 from repro.perf.bench import (
     BENCH_SCHEMA_VERSION,
+    MAX_HISTORY,
     REQUIRED_KEYS,
     bench_device,
     format_breakdown,
@@ -55,6 +56,23 @@ class TestRunBench:
         loaded = load_and_validate(path)
         assert loaded == json.loads(json.dumps(report))
 
+    def test_rerun_folds_prior_report_into_history(self, report, tmp_path):
+        path = tmp_path / "BENCH_colorbars.json"
+        write_report(report, path)
+        write_report(report, path)
+        loaded = load_and_validate(path)
+        assert len(loaded["history"]) == 1
+        prior = loaded["history"][0]
+        assert "history" not in prior
+        assert prior["speedup"] == report["speedup"]
+
+    def test_history_is_bounded(self, report, tmp_path):
+        path = tmp_path / "BENCH_colorbars.json"
+        for _ in range(MAX_HISTORY + 3):
+            write_report(report, path)
+        loaded = load_and_validate(path)
+        assert len(loaded["history"]) == MAX_HISTORY
+
     def test_breakdown_lines(self, report):
         lines = format_breakdown(report)
         text = "\n".join(lines)
@@ -73,14 +91,34 @@ class TestValidateReport:
             "cpu_count": 1,
             "quick": True,
             "cells": 2,
+            "failures": 0,
             "stages_s": {"record": 1.0},
             "wall_clock_s": {"serial": 2.0, "parallel": 1.5},
             "cells_per_sec": {"serial": 1.0, "parallel": 1.3},
             "speedup": 1.3,
+            "history": [],
         }
 
     def test_valid_report_passes(self):
         validate_report(self._valid())
+
+    def test_negative_failures_rejected(self):
+        report = self._valid()
+        report["failures"] = -1
+        with pytest.raises(BenchError, match="failures"):
+            validate_report(report)
+
+    def test_malformed_history_rejected(self):
+        report = self._valid()
+        report["history"] = [1, 2]
+        with pytest.raises(BenchError, match="history"):
+            validate_report(report)
+
+    def test_oversized_history_rejected(self):
+        report = self._valid()
+        report["history"] = [{} for _ in range(MAX_HISTORY + 1)]
+        with pytest.raises(BenchError, match="history"):
+            validate_report(report)
 
     def test_missing_key_rejected(self):
         report = self._valid()

@@ -10,7 +10,9 @@ from repro.perf.executor import (
     WORKERS_ENV,
     default_workers,
     make_runner,
+    resolve_workers,
     run_specs,
+    validate_workers,
 )
 
 
@@ -55,6 +57,33 @@ class TestDefaultWorkers:
         monkeypatch.setenv(WORKERS_ENV, raw)
         with pytest.raises(ConfigurationError):
             default_workers()
+
+
+class TestWorkerValidation:
+    @pytest.mark.parametrize("workers", [0, -1, 1.5, "two", True])
+    def test_non_positive_integers_rejected(self, workers):
+        with pytest.raises(ConfigurationError, match="positive integer"):
+            validate_workers(workers)
+
+    def test_digit_strings_accepted(self):
+        # The environment can only supply strings; "4" is a worker count.
+        assert validate_workers("4", source=WORKERS_ENV) == 4
+
+    def test_error_names_the_source(self):
+        with pytest.raises(ConfigurationError, match=WORKERS_ENV):
+            validate_workers("nope", source=WORKERS_ENV)
+
+    def test_resolve_defaults_to_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(None) == 3
+
+    def test_resolve_clamps_to_cell_count(self):
+        # More workers than cells just spawns idle processes; clamp them.
+        assert resolve_workers(8, cell_count=3) == 3
+        assert resolve_workers(2, cell_count=5) == 2
+
+    def test_resolve_never_clamps_below_one(self):
+        assert resolve_workers(4, cell_count=0) == 1
 
 
 class TestEquivalence:
