@@ -36,6 +36,8 @@ from repro.camera.noise import SensorNoise, quantize_8bit
 from repro.camera.optics import Optics, cached_vignette_map
 from repro.color.srgb import linear_to_srgb, xyz_to_linear_rgb
 from repro.exceptions import SensorTimingError
+from repro.obs.schema import M_FRAMES_RECORDED, SPAN_CAPTURE
+from repro.obs.trace import NULL_TRACER
 from repro.phy.waveform import OpticalWaveform
 from repro.util.rng import make_rng
 from repro.util.validation import require, require_positive
@@ -256,6 +258,8 @@ class RollingShutterCamera:
         duration: float,
         start_time: float = 0.0,
         frame_jitter_s: float = 3e-4,
+        tracer=None,
+        metrics=None,
     ) -> List[CapturedFrame]:
         """Record video: frames at the frame rate, gaps between readouts.
 
@@ -266,12 +270,17 @@ class RollingShutterCamera:
         prevents the inter-frame gap from locking onto the same packet
         positions cycle after cycle (the paper leans on exactly this
         "unsynchronization", §5).
+
+        ``tracer``/``metrics`` (see :mod:`repro.obs`) emit one ``capture``
+        span per frame and count recorded frames; the no-op defaults keep
+        the loop on the fast path.
         """
         require_positive(duration, "duration")
         if frame_jitter_s < 0:
             raise SensorTimingError(
                 f"frame_jitter_s must be >= 0, got {frame_jitter_s}"
             )
+        tracer = tracer if tracer is not None else NULL_TRACER
         frames: List[CapturedFrame] = []
         frame_count = int(duration * self.timing.frame_rate)
         drift = 0.0
@@ -279,7 +288,10 @@ class RollingShutterCamera:
             if frame_jitter_s > 0:
                 drift += float(self.rng.normal(0.0, frame_jitter_s))
             t0 = start_time + i * self.timing.frame_period + drift
-            frames.append(self.capture_frame(waveform, t0))
+            with tracer.span(SPAN_CAPTURE, frame=i):
+                frames.append(self.capture_frame(waveform, t0))
+        if metrics is not None:
+            metrics.counter(M_FRAMES_RECORDED).inc(len(frames))
         return frames
 
     # -- internals ---------------------------------------------------------

@@ -10,6 +10,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -21,10 +22,20 @@ from repro.exceptions import (
     ConfigurationError,
     FaultInjectionError,
     ToolingError,
+    TraceError,
 )
 from repro.faults import CHAOS_REGISTRY, FAULT_REGISTRY, parse_chaos_specs, parse_fault_specs
 from repro.link.simulator import RunSpec
 from repro.link.workloads import text_payload
+from repro.obs import (
+    MetricsRegistry,
+    assemble_trace,
+    format_span_tree,
+    read_trace,
+    render_reference,
+    summarize_spans,
+    write_trace,
+)
 from repro.perf.bench import BENCH_FILENAME, format_breakdown, run_bench, write_report
 from repro.perf.executor import resolve_workers
 from repro.perf.runtime import (
@@ -78,6 +89,36 @@ def _runtime_policy(args, chaos=()) -> RuntimePolicy:
         raise SystemExit(f"colorbars: {exc}")
 
 
+def _observability(args) -> "tuple":
+    """(observe, registry) from the ``--trace``/``--metrics`` flags."""
+    trace_path = getattr(args, "trace", None)
+    metrics_target = getattr(args, "metrics", None)
+    registry = MetricsRegistry() if metrics_target else None
+    return bool(trace_path) or bool(metrics_target), registry
+
+
+def _emit_trace(path, outcome, root_attributes) -> None:
+    """Assemble per-cell traces (spec order) and write the JSONL file."""
+    spans = assemble_trace(
+        [getattr(result, "trace", None) for result in outcome.results],
+        root_attributes=root_attributes,
+    )
+    write_trace(path, spans)
+    print(f"trace  : wrote {len(spans)} span(s) to {path}")
+
+
+def _emit_metrics(registry, target) -> None:
+    """Dump the registry: ``-`` prints lines, anything else writes JSON."""
+    if target == "-":
+        for line in registry.format_lines():
+            print(line)
+        return
+    Path(target).write_text(
+        json.dumps(registry.export(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"metrics: wrote {target}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     device = _device(args.device)
     config = _config(args, device)
@@ -104,7 +145,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         payload=payload,
         duration_s=args.duration,
     )
-    outcome = run_specs_resilient([spec], workers=1, policy=_runtime_policy(args))
+    observe, registry = _observability(args)
+    outcome = run_specs_resilient(
+        [spec],
+        workers=1,
+        policy=_runtime_policy(args),
+        observe=observe,
+        metrics=registry,
+    )
+    if args.trace:
+        _emit_trace(args.trace, outcome, {"device": device.name})
+    if registry is not None:
+        _emit_metrics(registry, args.metrics)
     result = outcome.results[0]
     if result is None:
         print(f"result : FAILED — {outcome.failures[0].describe()}")
@@ -162,13 +214,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 config=config, device=device, seed=args.seed,
                 duration_s=args.duration,
             )
+    observe, registry = _observability(args)
     outcome = run_specs_resilient(
         list(specs.values()),
         workers=workers,
         policy=policy,
         journal=args.journal,
         resume=args.resume,
+        observe=observe,
+        metrics=registry,
     )
+    if args.trace:
+        _emit_trace(
+            args.trace, outcome, {"device": device.name, "workers": workers}
+        )
+    if registry is not None:
+        _emit_metrics(registry, args.metrics)
     results = dict(zip(specs, outcome.results))
     failure_by_index = {failure.index: failure for failure in outcome.failures}
     keys = list(specs)
@@ -200,15 +261,51 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    report = run_bench(workers=args.workers, quick=args.quick)
+    registry = MetricsRegistry() if args.metrics else None
+    report = run_bench(workers=args.workers, quick=args.quick, metrics=registry)
     for line in format_breakdown(report):
         print(line)
+    if registry is not None:
+        _emit_metrics(registry, args.metrics)
     try:
         write_report(report, args.output)
     except BenchError as exc:
         print(f"colorbars bench: error: {exc}", file=sys.stderr)
         return 2
     print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.schema:
+        print(render_reference(), end="")
+        return 0
+    if not args.file:
+        raise SystemExit(
+            "colorbars trace: a trace FILE is required unless --schema is given"
+        )
+    try:
+        spans = read_trace(args.file)
+    except TraceError as exc:
+        print(f"colorbars trace: error: {exc}", file=sys.stderr)
+        return 2
+    if args.name:
+        named = [span for span in spans if span.name == args.name]
+        total = sum(span.duration_s for span in named)
+        print(
+            f"{len(named)} '{args.name}' span(s) of {len(spans)}; "
+            f"total {total:.3f} s"
+        )
+        if named:
+            durations = [span.duration_s for span in named]
+            print(
+                f"mean {total / len(named):.4f} s, "
+                f"min {min(durations):.4f} s, max {max(durations):.4f} s"
+            )
+        return 0
+    lines = format_span_tree(spans) if args.tree else summarize_spans(spans)
+    for line in lines:
+        print(line)
     return 0
 
 
@@ -263,6 +360,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--rate", type=float, default=2000.0, help="symbols per second")
         p.add_argument("--seed", type=int, default=0)
 
+    def observability(p):
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write a JSONL span trace of the run/sweep to PATH",
+        )
+        p.add_argument(
+            "--metrics", default=None, metavar="PATH",
+            help="dump the metrics registry as JSON to PATH ('-' prints lines)",
+        )
+
     def resilience(p, journal: bool = False):
         p.add_argument(
             "--cell-timeout", type=float, default=None, metavar="SECONDS",
@@ -312,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
         + ", ".join(sorted(FAULT_REGISTRY)),
     )
     resilience(run_p)
+    observability(run_p)
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="sweep CSK orders x symbol rates")
@@ -325,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel sweep processes (default: $COLORBARS_WORKERS or 1)",
     )
     resilience(sweep_p, journal=True)
+    observability(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
     bench_p = sub.add_parser(
@@ -343,7 +452,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=BENCH_FILENAME,
         help=f"report path (default ./{BENCH_FILENAME})",
     )
+    bench_p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="dump pipeline metrics across both legs ('-' prints lines)",
+    )
     bench_p.set_defaults(func=cmd_bench)
+
+    trace_p = sub.add_parser(
+        "trace", help="summarize/filter a --trace JSONL file, or print the schema"
+    )
+    trace_p.add_argument(
+        "file", nargs="?", default=None,
+        help="trace file written by run/sweep --trace",
+    )
+    trace_p.add_argument(
+        "--name", default=None, metavar="SPAN",
+        help="aggregate only spans with this name (e.g. decode)",
+    )
+    trace_p.add_argument(
+        "--tree", action="store_true",
+        help="print the indented span tree instead of the per-name rollup",
+    )
+    trace_p.add_argument(
+        "--schema", action="store_true",
+        help="print the generated span/metric reference (docs/METRICS.md)",
+    )
+    trace_p.set_defaults(func=cmd_trace)
 
     info_p = sub.add_parser("info", help="show derived link parameters")
     common(info_p)

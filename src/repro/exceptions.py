@@ -137,6 +137,14 @@ class JournalError(ColorBarsError):
     """A sweep run journal is unreadable or violates its schema."""
 
 
+class ObservabilityError(ColorBarsError):
+    """The observability layer was misused (undeclared metric, bad export)."""
+
+
+class TraceError(ObservabilityError):
+    """A trace is malformed: unreadable file, bad record, dangling parent."""
+
+
 class ToolingError(ColorBarsError):
     """A development tool (e.g. ``reprolint``) was misconfigured or misused."""
 

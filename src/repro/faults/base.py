@@ -98,6 +98,22 @@ class FaultSchedule:
             f"{len(self.frames_affected())} frames ({', '.join(parts)})"
         )
 
+    def span_attributes(self) -> Dict[str, object]:
+        """Flat ``{key: value}`` attributes for an observability span.
+
+        Shaped for :meth:`repro.obs.trace.Span.set` without this module
+        importing ``obs`` (faults stay below the instrumented link layer):
+        total event count, distinct frames touched, and a per-injector
+        ``events.<name>`` count.
+        """
+        attributes: Dict[str, object] = {
+            "events": len(self.events),
+            "frames_affected": len(self.frames_affected()),
+        }
+        for name, count in sorted(self.counts_by_injector().items()):
+            attributes[f"events.{name}"] = count
+        return attributes
+
 
 def validate_intensity(intensity: float, name: str) -> float:
     """Intensity knobs live in [0, 1]; anything else is a configuration bug."""

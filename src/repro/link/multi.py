@@ -171,6 +171,10 @@ def broadcast_to_fleet(
 
     ``runner`` executes the per-member runs (e.g. over a process pool via
     :func:`repro.perf.executor.make_runner`); the default runs serially.
+    An observing runner (``make_runner(observe=True)``) leaves each
+    member run's span trace and metrics export on its result, and
+    ``repro.obs.assemble_trace`` merges them — in fleet order, shared
+    then dedicated run per member — into one coherent trace.
     """
     specs = fleet_specs(
         devices,

@@ -32,6 +32,22 @@ from repro.core.system import ColorBarsTransmitter, TransmissionPlan, make_recei
 from repro.exceptions import LinkError
 from repro.faults.base import FaultInjector, FaultSchedule
 from repro.link.channel import ChannelConditions
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.schema import (
+    M_FAULTS_INJECTED,
+    M_PLAN_CACHE_HITS,
+    M_PLAN_CACHE_MISSES,
+    M_RUN_WALL_SECONDS,
+    M_RUNS_COMPLETED,
+    SPAN_CELL,
+    SPAN_DECODE,
+    SPAN_INJECT,
+    SPAN_METRICS,
+    SPAN_RECORD,
+    SPAN_TX_PLAN,
+    SPAN_WAVEFORM,
+)
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Tracer
 from repro.link.workloads import text_payload
 from repro.phy.waveform import EXTEND_CYCLE, OpticalWaveform
 from repro.rx.receiver import ReceiverReport
@@ -60,6 +76,14 @@ class LinkResult:
     #: Wall-clock per pipeline stage; measurement metadata, excluded from
     #: equality so timed runs still compare bit-identical.
     timings: StageTimings = field(default_factory=StageTimings, compare=False)
+    #: Span tuple recorded by an observed run (``RunSpec.execute(observe=
+    #: True)``); measurement metadata like ``timings``, excluded from
+    #: equality, ``None`` when the run was not observed.
+    trace: Optional[Tuple] = field(default=None, compare=False)
+    #: The observed run's local metrics export (see
+    #: :meth:`repro.obs.metrics.MetricsRegistry.export`); ``None`` when the
+    #: run was not observed.
+    obs_metrics: Optional[Dict] = field(default=None, compare=False)
 
     def delivered_payload(self) -> bytes:
         """Concatenation of every successfully decoded packet payload."""
@@ -122,6 +146,8 @@ class LinkSimulator:
         seed=0,
         faults: Optional[Sequence[FaultInjector]] = None,
         planner: Optional[Planner] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.config = config
         self.device = device
@@ -132,6 +158,10 @@ class LinkSimulator:
         #: receiver sees it (see :mod:`repro.faults`).
         self.faults = tuple(faults or ())
         self.planner = planner
+        #: Injected observability (see :mod:`repro.obs`): spans mirror the
+        #: stage timings, and the no-op defaults keep the hot path clean.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def run(
         self,
@@ -144,41 +174,72 @@ class LinkSimulator:
             payload = text_payload(3 * self.config.rs_params().k, seed=self.seed)
 
         timings = StageTimings()
-        with timings.measure("tx-plan"):
-            plan, waveform = self._plan_and_waveform(payload)
+        with self.tracer.span(
+            SPAN_CELL,
+            device=self.device.name,
+            order=self.config.csk_order,
+            rate=float(self.config.symbol_rate),
+            seed=str(self.seed),
+        ):
+            with timings.measure("tx-plan"), self.tracer.span(
+                SPAN_TX_PLAN
+            ) as span:
+                plan, waveform = self._plan_and_waveform(payload, span)
 
-        profile = DeviceProfile(
-            name=self.device.name,
-            timing=self.device.timing,
-            response=self.device.response,
-            noise=self.device.noise,
-            optics=self.channel.make_optics(),
-        )
-        camera = profile.make_camera(
-            simulated_columns=self.simulated_columns, seed=self.seed
-        )
-        with timings.measure("record"):
-            frames = camera.record(waveform, duration=duration_s)
-        if not frames:
-            raise LinkError(
-                f"duration {duration_s}s too short for one frame at "
-                f"{profile.timing.frame_rate} fps"
+            profile = DeviceProfile(
+                name=self.device.name,
+                timing=self.device.timing,
+                response=self.device.response,
+                noise=self.device.noise,
+                optics=self.channel.make_optics(),
             )
-        with timings.measure("inject"):
-            frames, schedule = self._inject_faults(frames)
+            camera = profile.make_camera(
+                simulated_columns=self.simulated_columns, seed=self.seed
+            )
+            with timings.measure("record"), self.tracer.span(
+                SPAN_RECORD
+            ) as span:
+                frames = camera.record(
+                    waveform,
+                    duration=duration_s,
+                    tracer=self.tracer,
+                    metrics=self.metrics,
+                )
+                span.set("frames", len(frames))
+            if not frames:
+                raise LinkError(
+                    f"duration {duration_s}s too short for one frame at "
+                    f"{profile.timing.frame_rate} fps"
+                )
+            with timings.measure("inject"), self.tracer.span(
+                SPAN_INJECT
+            ) as span:
+                frames, schedule = self._inject_faults(frames)
+                for key, value in schedule.span_attributes().items():
+                    span.set(key, value)
 
-        receiver = make_receiver(self.config, profile.timing)
-        with timings.measure("decode"):
-            report = receiver.process_frames(frames)
-        with timings.measure("metrics"):
-            matches = align_ground_truth(report.bands, plan.symbols, waveform)
-            metrics = compute_link_metrics(
-                report=report,
-                matches=matches,
-                bits_per_symbol=self.config.bits_per_symbol,
-                payload_bytes_per_packet=self.config.rs_params().k,
-                duration_s=duration_s,
+            receiver = make_receiver(
+                self.config,
+                profile.timing,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
+            with timings.measure("decode"), self.tracer.span(SPAN_DECODE):
+                report = receiver.process_frames(frames)
+            with timings.measure("metrics"), self.tracer.span(SPAN_METRICS):
+                matches = align_ground_truth(
+                    report.bands, plan.symbols, waveform
+                )
+                metrics = compute_link_metrics(
+                    report=report,
+                    matches=matches,
+                    bits_per_symbol=self.config.bits_per_symbol,
+                    payload_bytes_per_packet=self.config.rs_params().k,
+                    duration_s=duration_s,
+                )
+        self.metrics.counter(M_RUNS_COMPLETED).inc()
+        self.metrics.counter(M_FAULTS_INJECTED).inc(len(schedule))
+        self.metrics.histogram(M_RUN_WALL_SECONDS).observe(timings.total())
         return LinkResult(
             config=self.config,
             device_name=self.device.name,
@@ -191,14 +252,35 @@ class LinkSimulator:
         )
 
     def _plan_and_waveform(
-        self, payload: bytes
+        self, payload: bytes, span=NULL_SPAN
     ) -> Tuple[TransmissionPlan, OpticalWaveform]:
-        """Build (or fetch via the injected planner) the broadcast cycle."""
+        """Build (or fetch via the injected planner) the broadcast cycle.
+
+        ``span`` is the enclosing ``tx-plan`` span.  A planner's cache
+        outcome is recorded as an *attribute* only (``cache_hit``) — span
+        structure must stay a pure function of the spec, and cache state
+        differs between serial and per-worker caches.  The ``waveform``
+        child span exists only on the build-from-scratch path, which is
+        itself deterministic in whether a planner was injected.
+        """
         if self.planner is not None:
-            return self.planner(self.config, payload)
+            plan, waveform = self.planner(self.config, payload)
+            last_hit = getattr(self.planner, "last_hit", None)
+            if last_hit is not None:
+                span.set("cache_hit", bool(last_hit))
+                name = M_PLAN_CACHE_HITS if last_hit else M_PLAN_CACHE_MISSES
+                self.metrics.counter(name).inc()
+            span.set("symbols", len(plan.symbols))
+            span.set("codewords", len(plan.codewords))
+            return plan, waveform
         transmitter = ColorBarsTransmitter(self.config)
         plan = transmitter.plan(payload)
-        return plan, transmitter.waveform(plan, extend=EXTEND_CYCLE)
+        with self.tracer.span(SPAN_WAVEFORM) as wave_span:
+            waveform = transmitter.waveform(plan, extend=EXTEND_CYCLE)
+            wave_span.set("symbols", waveform.num_symbols)
+        span.set("symbols", len(plan.symbols))
+        span.set("codewords", len(plan.codewords))
+        return plan, waveform
 
     def _inject_faults(self, frames) -> tuple:
         """Run every configured injector over the recording, in order.
@@ -237,8 +319,20 @@ class RunSpec:
     payload: Optional[bytes] = None
     duration_s: float = 2.0
 
-    def execute(self, planner: Optional[Planner] = None) -> LinkResult:
-        """Run this cell (optionally with a shared memoizing planner)."""
+    def execute(
+        self, planner: Optional[Planner] = None, observe: bool = False
+    ) -> LinkResult:
+        """Run this cell (optionally with a shared memoizing planner).
+
+        ``observe=True`` records the run into a cell-local tracer and
+        metrics registry and attaches both to the result (``trace``,
+        ``obs_metrics``) — the worker-side half of sweep trace collection.
+        Observation is a parameter here, *not* a spec field: specs stay
+        pure value objects so :func:`repro.perf.runtime.spec_fingerprint`
+        is unaffected by how a run is observed.
+        """
+        tracer = Tracer() if observe else None
+        registry = MetricsRegistry() if observe else None
         simulator = LinkSimulator(
             self.config,
             self.device,
@@ -247,8 +341,14 @@ class RunSpec:
             seed=self.seed,
             faults=self.faults,
             planner=planner,
+            tracer=tracer,
+            metrics=registry,
         )
-        return simulator.run(payload=self.payload, duration_s=self.duration_s)
+        result = simulator.run(payload=self.payload, duration_s=self.duration_s)
+        if observe:
+            result.trace = tracer.spans()
+            result.obs_metrics = registry.export()
+        return result
 
 
 #: A runner executes specs and returns results in the same order.  The

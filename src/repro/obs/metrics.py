@@ -1,0 +1,238 @@
+"""Counters, gauges, and histograms behind one schema-validated registry.
+
+A :class:`MetricsRegistry` hands out instruments by *declared* name only —
+every name must appear in :data:`repro.obs.schema.METRIC_TYPES` with the
+matching kind, which is what keeps ``docs/METRICS.md`` (generated from the
+same schema module) truthful about everything the code can record.
+
+Exports are plain dicts (:meth:`MetricsRegistry.export`) designed to merge
+exactly: counters add, gauges last-write-wins, histograms combine their
+count/sum/min/max.  Worker processes therefore record into a local
+registry, ship the export back on the result, and the collecting side
+folds everything into the caller's injected registry with
+:meth:`MetricsRegistry.merge_export`.
+
+:data:`NULL_METRICS` is the no-op default: every instrument it returns
+discards its updates, so uninstrumented call sites cost one method call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.exceptions import ObservabilityError
+from repro.obs.schema import (
+    KIND_COUNTER,
+    KIND_GAUGE,
+    KIND_HISTOGRAM,
+    METRIC_TYPES,
+    METRICS_SCHEMA_VERSION,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; the last ``set`` wins."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Dependency-free distribution summary: count, sum, min, max.
+
+    Deliberately bucket-free — count/sum/min/max merge exactly across
+    processes, which is the property sweep collection relies on.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def export(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class _NullInstrument:
+    """One object standing in for every disabled counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        """Discard the increment."""
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def export(self) -> Dict[str, object]:
+        """A null registry never recorded anything."""
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+#: The module-wide default injected wherever no registry is supplied.
+NULL_METRICS = NullMetrics()
+
+
+class MetricsRegistry:
+    """Instruments by declared name, with mergeable exports."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    @staticmethod
+    def _require(name: str, kind: str) -> None:
+        declared = METRIC_TYPES.get(name)
+        if declared is None:
+            raise ObservabilityError(
+                f"metric {name!r} is not declared in repro.obs.schema; "
+                "add it to METRICS before recording it"
+            )
+        if declared != kind:
+            raise ObservabilityError(
+                f"metric {name!r} is declared as a {declared}, not a {kind}"
+            )
+
+    def counter(self, name: str) -> Counter:
+        self._require(name, KIND_COUNTER)
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        self._require(name, KIND_GAUGE)
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        self._require(name, KIND_HISTOGRAM)
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    def export(self) -> Dict[str, object]:
+        """Everything recorded so far, as a JSON-ready mergeable dict."""
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "counters": {
+                name: counter.value for name, counter in self._counters.items()
+            },
+            "gauges": {name: gauge.value for name, gauge in self._gauges.items()},
+            "histograms": {
+                name: histogram.export()
+                for name, histogram in self._histograms.items()
+            },
+        }
+
+    def merge_export(self, exported: Dict[str, object]) -> None:
+        """Fold another registry's :meth:`export` into this one.
+
+        Counters add; gauges take the incoming value; histograms combine
+        count/sum/min/max.  The merge is associative and commutative over
+        counters/histograms, so collection order across workers cannot
+        change the totals.
+        """
+        if not isinstance(exported, dict):
+            raise ObservabilityError(
+                f"metrics export must be a dict, got {type(exported).__name__}"
+            )
+        if exported.get("schema") != METRICS_SCHEMA_VERSION:
+            raise ObservabilityError(
+                f"metrics export schema {exported.get('schema')!r}, "
+                f"expected {METRICS_SCHEMA_VERSION}"
+            )
+        for name, value in (exported.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in (exported.get("gauges") or {}).items():
+            self.gauge(name).set(float(value))
+        for name, summary in (exported.get("histograms") or {}).items():
+            histogram = self.histogram(name)
+            count = int(summary.get("count", 0))
+            if count <= 0:
+                continue
+            histogram.count += count
+            histogram.total += float(summary.get("sum", 0.0))
+            histogram.min = min(histogram.min, float(summary["min"]))
+            histogram.max = max(histogram.max, float(summary["max"]))
+
+    def format_lines(self) -> List[str]:
+        """Human-readable dump lines (the CLI prints them for ``-``)."""
+        exported = self.export()
+        lines: List[str] = []
+        for name, value in sorted(exported["counters"].items()):
+            lines.append(f"{name} = {value}")
+        for name, value in sorted(exported["gauges"].items()):
+            lines.append(f"{name} = {value:g}")
+        for name, summary in sorted(exported["histograms"].items()):
+            lines.append(
+                f"{name} = count {summary['count']}, sum {summary['sum']:g}, "
+                f"min {summary['min']:g}, max {summary['max']:g}"
+            )
+        return lines

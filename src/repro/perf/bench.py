@@ -122,22 +122,30 @@ def micro_sweep_specs(quick: bool = False) -> List[RunSpec]:
     ]
 
 
-def run_bench(workers: int = 4, quick: bool = False) -> Dict:
+def run_bench(workers: int = 4, quick: bool = False, metrics=None) -> Dict:
     """Execute the micro-sweep serially and at ``workers``, return the report.
 
     Both legs run through the resilient runtime (containment only — no
     watchdog, no retry), so a crashing cell degrades the report into a
     nonzero ``failures`` count instead of killing the bench.
+
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) collects
+    pipeline counters across *both* legs — every cell runs twice, so
+    counter totals cover 2x the grid.  Observation is measurement metadata
+    and does not enter the report's timings comparison beyond its own
+    (null-path) overhead.
     """
     specs = micro_sweep_specs(quick=quick)
     policy = RuntimePolicy()
 
     serial_start = time.perf_counter()
-    serial = run_specs_resilient(specs, workers=1, policy=policy)
+    serial = run_specs_resilient(specs, workers=1, policy=policy, metrics=metrics)
     serial_wall = time.perf_counter() - serial_start
 
     parallel_start = time.perf_counter()
-    parallel = run_specs_resilient(specs, workers=workers, policy=policy)
+    parallel = run_specs_resilient(
+        specs, workers=workers, policy=policy, metrics=metrics
+    )
     parallel_wall = time.perf_counter() - parallel_start
 
     stages = StageTimings()

@@ -22,7 +22,7 @@ Correctness rests on two facts:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -90,6 +90,10 @@ class PlanCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        #: Whether the most recent lookup was a hit (``None`` before the
+        #: first lookup).  The link layer reads this off the injected
+        #: planner to annotate its ``tx-plan`` span without importing perf.
+        self.last_hit: Optional[bool] = None
         self._entries: Dict[CacheKey, _CacheEntry] = {}
 
     def plan_and_waveform(
@@ -98,6 +102,7 @@ class PlanCache:
         """The broadcast cycle for ``(config, payload)``, built at most once."""
         key: CacheKey = (config_cache_key(config), bytes(payload))
         entry = self._entries.get(key)
+        self.last_hit = entry is not None
         if entry is None:
             self.misses += 1
             transmitter = ColorBarsTransmitter(config)
@@ -120,6 +125,10 @@ class PlanCache:
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Effectiveness snapshot: hits, misses, and resident entries."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
 
 
 def _copy_plan(plan: TransmissionPlan) -> TransmissionPlan:

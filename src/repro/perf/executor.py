@@ -102,34 +102,49 @@ def _execute_spec(spec: RunSpec) -> LinkResult:
     return spec.execute(planner=_process_cache())
 
 
+def _execute_spec_observed(spec: RunSpec) -> LinkResult:
+    """Observed variant: the worker ships its trace back on the result."""
+    return spec.execute(planner=_process_cache(), observe=True)
+
+
 def run_specs(
-    specs: Sequence[RunSpec], workers: Optional[int] = None
+    specs: Sequence[RunSpec],
+    workers: Optional[int] = None,
+    observe: bool = False,
 ) -> List[LinkResult]:
     """Execute ``specs`` and return results in spec order.
 
     ``workers=None`` consults :func:`default_workers`; ``1`` runs serially
     in-process (with a shared plan cache); ``>= 2`` fans cells out to a
     process pool.  Both paths produce byte-identical results.
+
+    ``observe=True`` records each cell into a cell-local tracer/registry
+    (attached to the results as ``trace``/``obs_metrics``); observation is
+    per-cell measurement metadata and cannot change any result.
     """
     specs = list(specs)
     workers = resolve_workers(workers, cell_count=len(specs))
     if workers == 1 or len(specs) <= 1:
         cache = _process_cache()
-        return [spec.execute(planner=cache) for spec in specs]
+        return [spec.execute(planner=cache, observe=observe) for spec in specs]
+    entry = _execute_spec_observed if observe else _execute_spec
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_execute_spec, specs))
+        return list(pool.map(entry, specs))
 
 
-def make_runner(workers: Optional[int] = None) -> Runner:
+def make_runner(workers: Optional[int] = None, observe: bool = False) -> Runner:
     """A :data:`~repro.link.simulator.Runner` bound to a worker count.
 
     Inject into :func:`repro.link.simulator.sweep`,
     :func:`repro.link.multi.broadcast_to_fleet`, or any other spec-based
-    sweep: ``sweep(device, runner=make_runner(4))``.
+    sweep: ``sweep(device, runner=make_runner(4))``.  ``observe=True``
+    makes every executed cell carry its span trace and metrics export
+    (``result.trace`` / ``result.obs_metrics``), ready for
+    :func:`repro.obs.assemble_trace` / ``MetricsRegistry.merge_export``.
     """
 
     def runner(specs: Sequence[RunSpec]) -> List[LinkResult]:
-        return run_specs(specs, workers=workers)
+        return run_specs(specs, workers=workers, observe=observe)
 
     return runner
 

@@ -60,6 +60,13 @@ from repro.exceptions import CellFailure, ConfigurationError, JournalError
 from repro.faults.chaos import ProcessChaos
 from repro.link.multi import FleetReport, fleet_report_from_results, fleet_specs
 from repro.link.simulator import LinkResult, RunSpec
+from repro.obs.schema import (
+    M_CELLS_COMPLETED,
+    M_CELLS_FAILED,
+    M_CELLS_RESUMED,
+    M_CELLS_RETRIED,
+    M_SWEEP_WORKERS,
+)
 from repro.perf.executor import _process_cache, resolve_workers
 from repro.util.rng import derive_rng, make_rng
 
@@ -293,13 +300,31 @@ class _Cell:
     ready_at: float = 0.0
 
 
+def _annotate_trace(result: LinkResult, index: int, attempt: int) -> LinkResult:
+    """Stamp cell position/attempt onto an observed result's root span.
+
+    Attributes only — span *structure* stays a pure function of the spec,
+    which is what keeps serial and parallel trees identical.
+    """
+    trace = getattr(result, "trace", None)
+    if trace:
+        trace[0].set("cell_index", index)
+        trace[0].set("attempt", attempt)
+    return result
+
+
 def _execute_cell(
-    index: int, spec: RunSpec, attempt: int, chaos: Tuple[ProcessChaos, ...]
+    index: int,
+    spec: RunSpec,
+    attempt: int,
+    chaos: Tuple[ProcessChaos, ...],
+    observe: bool = False,
 ) -> LinkResult:
     """Worker-side cell entry point: chaos first, then the real run."""
     for injector in chaos:
         injector.before_cell(cell_index=index, attempt=attempt)
-    return spec.execute(planner=_process_cache())
+    result = spec.execute(planner=_process_cache(), observe=observe)
+    return _annotate_trace(result, index, attempt)
 
 
 def run_specs_resilient(
@@ -308,6 +333,8 @@ def run_specs_resilient(
     policy: Optional[RuntimePolicy] = None,
     journal=None,
     resume: bool = False,
+    observe: bool = False,
+    metrics=None,
 ) -> RuntimeResult:
     """Execute ``specs`` with watchdogs, containment, retry, and journaling.
 
@@ -318,8 +345,18 @@ def run_specs_resilient(
     ``resume`` its cells are spliced into the results unrun.  Successful
     cells are byte-identical to :func:`repro.perf.executor.run_specs` —
     resilience only changes what happens to the unsuccessful ones.
+
+    ``observe=True`` records each executed cell into a cell-local tracer
+    and registry, attached to the results (``trace``/``obs_metrics``) —
+    and therefore carried by the journal, so resumed cells keep their
+    original traces.  Passing a :class:`repro.obs.metrics.MetricsRegistry`
+    as ``metrics`` implies ``observe``: every cell's export is merged into
+    it, plus the runtime's own counters (cells completed/failed/retried/
+    resumed, worker gauge).
     """
     specs = list(specs)
+    if metrics is not None:
+        observe = True
     if policy is None:
         policy = RuntimePolicy(cell_timeout_s=default_cell_timeout())
     workers = resolve_workers(workers, cell_count=len(specs))
@@ -346,11 +383,30 @@ def run_specs_resilient(
         else:
             cells.append(_Cell(index=index, spec=spec, fingerprint=fingerprint))
 
+    stats = {"retried": 0}
     if cells:
         if workers > 1 or policy.needs_isolation():
-            _run_isolated(cells, workers, policy, journal, results, failures)
+            _run_isolated(
+                cells, workers, policy, journal, results, failures,
+                observe=observe, stats=stats,
+            )
         else:
-            _run_inline(cells, policy, journal, results, failures)
+            _run_inline(
+                cells, policy, journal, results, failures,
+                observe=observe, stats=stats,
+            )
+
+    if metrics is not None:
+        metrics.gauge(M_SWEEP_WORKERS).set(workers)
+        completed = sum(1 for result in results if result is not None)
+        metrics.counter(M_CELLS_COMPLETED).inc(completed)
+        metrics.counter(M_CELLS_FAILED).inc(len(failures))
+        metrics.counter(M_CELLS_RETRIED).inc(stats["retried"])
+        metrics.counter(M_CELLS_RESUMED).inc(resumed)
+        for result in results:
+            exported = getattr(result, "obs_metrics", None)
+            if exported:
+                metrics.merge_export(exported)
     return RuntimeResult(results=results, failures=failures, resumed=resumed)
 
 
@@ -385,6 +441,7 @@ def _retry_or_fail(
     failures: List[CellFailure],
     policy: RuntimePolicy,
     now: float,
+    stats: Optional[Dict[str, int]] = None,
 ) -> None:
     """Requeue the cell for its next attempt, or record its final failure."""
     if cell.attempt < policy.max_attempts:
@@ -392,6 +449,8 @@ def _retry_or_fail(
         cell.attempt += 1
         cell.started_at = None
         pending.append(cell)
+        if stats is not None:
+            stats["retried"] = stats.get("retried", 0) + 1
     else:
         failures.append(_failure(cell, cause, error_type, message))
 
@@ -402,19 +461,27 @@ def _run_inline(
     journal: Optional[RunJournal],
     results: List[Optional[LinkResult]],
     failures: List[CellFailure],
+    observe: bool = False,
+    stats: Optional[Dict[str, int]] = None,
 ) -> None:
     """The fully in-process path: no pool, no watchdog, still contained."""
     cache = _process_cache()
     for cell in cells:
         while True:
             try:
-                result = cell.spec.execute(planner=cache)
+                result = _annotate_trace(
+                    cell.spec.execute(planner=cache, observe=observe),
+                    cell.index,
+                    cell.attempt,
+                )
             except Exception as exc:
                 if cell.attempt < policy.max_attempts:
                     time.sleep(
                         backoff_delay_s(policy, cell.spec.seed, cell.attempt + 1)
                     )
                     cell.attempt += 1
+                    if stats is not None:
+                        stats["retried"] = stats.get("retried", 0) + 1
                     continue
                 failures.append(
                     _failure(cell, "error", type(exc).__name__, str(exc))
@@ -446,6 +513,8 @@ def _run_isolated(
     journal: Optional[RunJournal],
     results: List[Optional[LinkResult]],
     failures: List[CellFailure],
+    observe: bool = False,
+    stats: Optional[Dict[str, int]] = None,
 ) -> None:
     """The supervised pool path: watchdog, crash containment, retry.
 
@@ -474,7 +543,8 @@ def _run_isolated(
                 pending.remove(cell)
                 cell.started_at = time.monotonic()
                 future = pool.submit(
-                    _execute_cell, cell.index, cell.spec, cell.attempt, policy.chaos
+                    _execute_cell, cell.index, cell.spec, cell.attempt,
+                    policy.chaos, observe,
                 )
                 active[future] = cell
 
@@ -499,11 +569,12 @@ def _run_isolated(
                     _retry_or_fail(
                         cell, "crash", type(error).__name__,
                         "worker process died", pending, failures, policy, now,
+                        stats,
                     )
                 else:
                     _retry_or_fail(
                         cell, "error", type(error).__name__, str(error),
-                        pending, failures, policy, now,
+                        pending, failures, policy, now, stats,
                     )
 
             if pool_broke:
@@ -514,6 +585,7 @@ def _run_isolated(
                     _retry_or_fail(
                         cell, "crash", "BrokenProcessPool",
                         "worker process died", pending, failures, policy, now,
+                        stats,
                     )
                 active.clear()
                 _teardown_pool(pool)
@@ -534,7 +606,7 @@ def _run_isolated(
                             cell, "timeout", "TimeoutError",
                             f"cell exceeded {policy.cell_timeout_s:g}s watchdog "
                             f"deadline on attempt {cell.attempt}",
-                            pending, failures, policy, now,
+                            pending, failures, policy, now, stats,
                         )
                     for future, cell in list(active.items()):
                         # Innocent pool-mates: rerun at the same attempt.

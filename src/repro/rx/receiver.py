@@ -21,6 +21,25 @@ from repro.csk.calibration import CalibrationTable
 from repro.csk.demodulator import CskDemodulator
 from repro.exceptions import ColorBarsError, FrameFailure, UncorrectableBlockError
 from repro.fec.reed_solomon import ReedSolomonCodec
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.schema import (
+    M_CALIBRATION_REJECTED,
+    M_CALIBRATION_UPDATES,
+    M_FRAME_BANDS,
+    M_FRAMES_FAILED,
+    M_PACKET_ERASURES,
+    M_PACKETS_DECODED,
+    M_PACKETS_FAILED_FEC,
+    M_PACKETS_SEEN,
+    M_SYMBOLS_DETECTED,
+    M_SYMBOLS_LOST,
+    SPAN_ASSEMBLE,
+    SPAN_CALIBRATE,
+    SPAN_DEMOD,
+    SPAN_FEC,
+    SPAN_SEGMENT,
+)
+from repro.obs.trace import NULL_TRACER
 from repro.packet.packetizer import Packetizer
 from repro.rx.assembler import CalibrationEvent, PacketAssembler, ReceivedPacket
 from repro.rx.detector import ReceivedBand, SymbolDetector
@@ -136,9 +155,15 @@ class ColorBarsReceiver:
         edge_trim_fraction: float = 0.2,
         coring: str = "central",
         equalize: bool = False,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.packetizer = packetizer
         self.codec = codec
+        #: Injected observability (see :mod:`repro.obs`); the no-op
+        #: defaults keep every span/counter call on the fast path.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.symbol_rate = float(symbol_rate)
         self.calibration = (
             calibration
@@ -185,35 +210,72 @@ class ColorBarsReceiver:
         if not frames:
             return report
 
-        segmented = [self._segment_frame(frame) for frame in frames]
+        segmented = []
+        for frame in frames:
+            with self.tracer.span(SPAN_SEGMENT, frame=frame.index):
+                segmented.append(self._segment_frame(frame))
 
         if not self.calibration.is_calibrated:
-            self._bootstrap_calibration(segmented, report)
+            with self.tracer.span(SPAN_CALIBRATE) as span:
+                self._bootstrap_calibration(segmented, report)
+                span.set("calibrated", self.calibration.is_calibrated)
+                span.set("updates", report.calibration_updates)
             if not self.calibration.is_calibrated:
                 # Never saw a usable calibration packet: nothing decodable.
                 report.frames_processed = len(frames)
+                self._record_report_metrics(report)
                 return report
 
-        per_frame_bands = [
-            self._classify_frame(seg, report.frame_failures) for seg in segmented
-        ]
-        report.frames_processed = len(frames)
-        for bands in per_frame_bands:
-            report.bands.extend(bands)
-            report.symbols_detected += len(bands)
+        with self.tracer.span(SPAN_DEMOD) as span:
+            per_frame_bands = [
+                self._classify_frame(seg, report.frame_failures)
+                for seg in segmented
+            ]
+            report.frames_processed = len(frames)
+            bands_histogram = self.metrics.histogram(M_FRAME_BANDS)
+            for bands in per_frame_bands:
+                report.bands.extend(bands)
+                report.symbols_detected += len(bands)
+                bands_histogram.observe(len(bands))
+            span.set("symbols", report.symbols_detected)
+            span.set("frames_failed", report.frames_failed)
 
-        items = self.assembler.stitch(per_frame_bands)
-        packets, calibrations = self.assembler.extract(items)
-        report.symbols_lost_in_gaps = self.assembler.stats.symbols_lost_in_gaps
+        with self.tracer.span(SPAN_ASSEMBLE) as span:
+            items = self.assembler.stitch(per_frame_bands)
+            packets, calibrations = self.assembler.extract(items)
+            report.symbols_lost_in_gaps = (
+                self.assembler.stats.symbols_lost_in_gaps
+            )
+            span.set("packets", len(packets))
+            span.set("calibrations", len(calibrations))
+            span.set("symbols_lost_in_gaps", report.symbols_lost_in_gaps)
 
         self._absorb_calibrations(calibrations, report)
 
-        for packet in packets:
-            report.packets_seen += 1
-            self._decode_packet(packet, report)
+        with self.tracer.span(SPAN_FEC) as span:
+            erasure_histogram = self.metrics.histogram(M_PACKET_ERASURES)
+            for packet in packets:
+                report.packets_seen += 1
+                erasure_histogram.observe(len(packet.erasure_positions))
+                self._decode_packet(packet, report)
+            span.set("decoded", report.packets_decoded)
+            span.set("failed", report.packets_failed_fec)
+        self._record_report_metrics(report)
         return report
 
     # -- internals -------------------------------------------------------
+
+    def _record_report_metrics(self, report: ReceiverReport) -> None:
+        """Fold one session's report into the injected metrics registry."""
+        metrics = self.metrics
+        metrics.counter(M_FRAMES_FAILED).inc(report.frames_failed)
+        metrics.counter(M_SYMBOLS_DETECTED).inc(report.symbols_detected)
+        metrics.counter(M_SYMBOLS_LOST).inc(report.symbols_lost_in_gaps)
+        metrics.counter(M_PACKETS_SEEN).inc(report.packets_seen)
+        metrics.counter(M_PACKETS_DECODED).inc(report.packets_decoded)
+        metrics.counter(M_PACKETS_FAILED_FEC).inc(report.packets_failed_fec)
+        metrics.counter(M_CALIBRATION_UPDATES).inc(report.calibration_updates)
+        metrics.counter(M_CALIBRATION_REJECTED).inc(report.calibration_rejected)
 
     def _detect_frame(
         self,

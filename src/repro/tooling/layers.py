@@ -12,7 +12,9 @@ architecture is a strict bottom-up chain through the optical pipeline::
 captured frames, and only the link layer composes them into runs;
 ``perf`` sits above ``link`` — the executor/cache/bench orchestrate link
 runs, while the link layer only *accepts* injected planners/runners and
-never imports ``perf``)
+never imports ``perf``; ``obs`` sits at the bottom next to ``util`` —
+tracing/metrics are injected into camera/rx/link/perf, so instrumented
+layers may import ``obs`` but ``obs`` sees nothing above ``util``)
 
 with ``tooling`` off to the side (it may only see ``util``/``exceptions``)
 and the application shell (``cli``, ``__main__``, the package root) allowed
@@ -40,21 +42,22 @@ _TOP_LEVEL_MODULES = {
 LAYER_DEPS: Dict[str, FrozenSet[str]] = {
     "exceptions": frozenset(),
     "util": frozenset({"exceptions"}),
+    "obs": frozenset({"util"}),
     "color": frozenset({"util"}),
     "phy": frozenset({"color"}),
     "fec": frozenset({"util"}),
     "csk": frozenset({"phy"}),
-    "camera": frozenset({"phy"}),
+    "camera": frozenset({"phy", "obs"}),
     "packet": frozenset({"csk"}),
     "flicker": frozenset({"csk"}),
     "video": frozenset({"camera"}),
     "faults": frozenset({"camera"}),
-    "rx": frozenset({"video", "packet", "fec"}),
+    "rx": frozenset({"video", "packet", "fec", "obs"}),
     "core": frozenset({"rx", "flicker"}),
-    "link": frozenset({"core", "faults"}),
+    "link": frozenset({"core", "faults", "obs"}),
     "analysis": frozenset({"link"}),
     "baselines": frozenset({"rx"}),
-    "perf": frozenset({"link"}),
+    "perf": frozenset({"link", "obs"}),
     "tooling": frozenset({"util"}),
 }
 

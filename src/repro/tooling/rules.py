@@ -356,6 +356,26 @@ class NoPrintRule(Rule):
                 )
 
 
+class ModuleDocstringRule(Rule):
+    """Every repro module states its purpose up front."""
+
+    rule_id = "module-docstring"
+    description = (
+        "every repro module must open with a docstring"
+        " (empty __init__.py files are exempt)"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.module or not context.tree.body:
+            # Outside the repro package, or an empty (marker) module.
+            return
+        if ast.get_docstring(context.tree) is None:
+            yield self.finding(
+                context, context.tree.body[0],
+                "module has no docstring; open with a summary of its purpose",
+            )
+
+
 #: Registry of every rule, in report order.
 ALL_RULES: Tuple[Rule, ...] = (
     RngDirectCallRule(),
@@ -365,6 +385,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     RawRaiseRule(),
     MutableDefaultRule(),
     NoPrintRule(),
+    ModuleDocstringRule(),
 )
 
 

@@ -1,0 +1,142 @@
+"""MetricsRegistry contracts: schema validation, exports, exact merging."""
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import MetricsRegistry, NULL_METRICS
+from repro.obs.schema import (
+    M_FRAME_BANDS,
+    M_FRAMES_RECORDED,
+    M_PACKETS_DECODED,
+    M_SWEEP_WORKERS,
+    METRICS_SCHEMA_VERSION,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter(M_FRAMES_RECORDED).inc()
+        registry.counter(M_FRAMES_RECORDED).inc(4)
+        assert registry.export()["counters"][M_FRAMES_RECORDED] == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge(M_SWEEP_WORKERS).set(2)
+        registry.gauge(M_SWEEP_WORKERS).set(8)
+        assert registry.export()["gauges"][M_SWEEP_WORKERS] == 8.0
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        h = registry.histogram(M_FRAME_BANDS)
+        for value in (3.0, 1.0, 2.0):
+            h.observe(value)
+        assert registry.export()["histograms"][M_FRAME_BANDS] == {
+            "count": 3,
+            "sum": 6.0,
+            "min": 1.0,
+            "max": 3.0,
+        }
+
+    def test_empty_histogram_exports_zeros(self):
+        registry = MetricsRegistry()
+        registry.histogram(M_FRAME_BANDS)
+        summary = registry.export()["histograms"][M_FRAME_BANDS]
+        assert summary == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0}
+
+
+class TestSchemaEnforcement:
+    def test_undeclared_name_raises(self):
+        with pytest.raises(ObservabilityError, match="not declared"):
+            MetricsRegistry().counter("colorbars.made_up.metric")
+
+    def test_wrong_kind_raises(self):
+        with pytest.raises(ObservabilityError, match="declared as a"):
+            MetricsRegistry().gauge(M_FRAMES_RECORDED)
+        with pytest.raises(ObservabilityError, match="declared as a"):
+            MetricsRegistry().counter(M_FRAME_BANDS)
+
+    def test_export_shape(self):
+        exported = MetricsRegistry().export()
+        assert exported["schema"] == METRICS_SCHEMA_VERSION
+        assert set(exported) == {"schema", "counters", "gauges", "histograms"}
+
+
+class TestMerge:
+    def _worker_export(self, frames, bands):
+        registry = MetricsRegistry()
+        registry.counter(M_FRAMES_RECORDED).inc(frames)
+        for value in bands:
+            registry.histogram(M_FRAME_BANDS).observe(value)
+        return registry.export()
+
+    def test_counters_add_histograms_combine(self):
+        collector = MetricsRegistry()
+        collector.merge_export(self._worker_export(3, [1.0, 5.0]))
+        collector.merge_export(self._worker_export(2, [2.0]))
+        exported = collector.export()
+        assert exported["counters"][M_FRAMES_RECORDED] == 5
+        assert exported["histograms"][M_FRAME_BANDS] == {
+            "count": 3,
+            "sum": 8.0,
+            "min": 1.0,
+            "max": 5.0,
+        }
+
+    def test_merge_is_order_independent(self):
+        exports = [self._worker_export(i, [float(i)]) for i in range(1, 4)]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for e in exports:
+            forward.merge_export(e)
+        for e in reversed(exports):
+            backward.merge_export(e)
+        assert forward.export() == backward.export()
+
+    def test_empty_incoming_histogram_does_not_poison_min(self):
+        collector = MetricsRegistry()
+        collector.histogram(M_FRAME_BANDS).observe(4.0)
+        empty = MetricsRegistry()
+        empty.histogram(M_FRAME_BANDS)
+        collector.merge_export(empty.export())
+        assert collector.export()["histograms"][M_FRAME_BANDS]["min"] == 4.0
+
+    def test_merge_validates_shape_and_schema(self):
+        with pytest.raises(ObservabilityError, match="must be a dict"):
+            MetricsRegistry().merge_export("nope")
+        with pytest.raises(ObservabilityError, match="schema"):
+            MetricsRegistry().merge_export({"schema": 99})
+
+    def test_merge_rejects_undeclared_names(self):
+        bad = {
+            "schema": METRICS_SCHEMA_VERSION,
+            "counters": {"colorbars.rogue": 1},
+            "gauges": {},
+            "histograms": {},
+        }
+        with pytest.raises(ObservabilityError, match="not declared"):
+            MetricsRegistry().merge_export(bad)
+
+
+class TestNullMetrics:
+    def test_discards_everything(self):
+        NULL_METRICS.counter(M_FRAMES_RECORDED).inc(100)
+        NULL_METRICS.gauge(M_SWEEP_WORKERS).set(8)
+        NULL_METRICS.histogram(M_FRAME_BANDS).observe(1.0)
+        exported = NULL_METRICS.export()
+        assert exported["counters"] == {}
+        assert exported["histograms"] == {}
+        assert NULL_METRICS.enabled is False
+
+    def test_never_validates_names(self):
+        # The null path must stay cheap: no schema lookups, no raising.
+        NULL_METRICS.counter("anything.goes").inc()
+
+    def test_format_lines_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter(M_PACKETS_DECODED).inc(2)
+        registry.counter(M_FRAMES_RECORDED).inc(1)
+        registry.histogram(M_FRAME_BANDS).observe(3.0)
+        lines = registry.format_lines()
+        assert lines[0].startswith(M_FRAMES_RECORDED)
+        assert any(M_PACKETS_DECODED in line for line in lines)
+        assert any("count 1" in line for line in lines)

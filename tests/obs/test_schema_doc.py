@@ -1,0 +1,65 @@
+"""Schema integrity, and the generated-doc contract for docs/METRICS.md."""
+
+from pathlib import Path
+
+from repro.obs.schema import (
+    KIND_COUNTER,
+    KIND_GAUGE,
+    KIND_HISTOGRAM,
+    METRIC_TYPES,
+    METRICS,
+    SPAN_NAMES,
+    SPANS,
+    render_reference,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSchemaIntegrity:
+    def test_metric_names_unique_and_namespaced(self):
+        names = [entry.name for entry in METRICS]
+        assert len(names) == len(set(names))
+        for name in names:
+            assert name.startswith("colorbars."), name
+
+    def test_metric_kinds_valid(self):
+        kinds = {KIND_COUNTER, KIND_GAUGE, KIND_HISTOGRAM}
+        for entry in METRICS:
+            assert entry.kind in kinds, entry.name
+        assert METRIC_TYPES == {entry.name: entry.kind for entry in METRICS}
+
+    def test_span_names_unique_and_parents_declared(self):
+        names = [entry.name for entry in SPANS]
+        assert len(names) == len(set(names))
+        assert SPAN_NAMES == frozenset(names)
+        for entry in SPANS:
+            if entry.parent != "(root)":
+                assert entry.parent in SPAN_NAMES, (
+                    f"span {entry.name!r} claims unknown parent {entry.parent!r}"
+                )
+
+    def test_every_entry_documented(self):
+        for entry in SPANS:
+            assert entry.description and entry.module, entry.name
+        for entry in METRICS:
+            assert entry.description and entry.module, entry.name
+
+
+class TestGeneratedDoc:
+    def test_reference_mentions_everything(self):
+        text = render_reference()
+        for entry in SPANS:
+            assert f"`{entry.name}`" in text
+        for entry in METRICS:
+            assert f"`{entry.name}`" in text
+
+    def test_docs_metrics_md_is_in_sync(self):
+        # docs/METRICS.md is generated: regenerate with
+        #   colorbars trace --schema > docs/METRICS.md
+        # CI diffs this too; the test makes the drift failure local.
+        committed = (REPO_ROOT / "docs" / "METRICS.md").read_text()
+        assert committed == render_reference(), (
+            "docs/METRICS.md is stale; regenerate with "
+            "`colorbars trace --schema > docs/METRICS.md`"
+        )

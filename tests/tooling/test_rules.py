@@ -14,7 +14,13 @@ LIB_PATH = "src/repro/camera/somefile.py"
 
 
 def rule_ids(source, path=LIB_PATH):
-    return [f.rule_id for f in lint_source(textwrap.dedent(source), path=path)]
+    # Snippets here are deliberately docstring-less; module-docstring has
+    # its own test class below that lints without this filter.
+    return [
+        f.rule_id
+        for f in lint_source(textwrap.dedent(source), path=path)
+        if f.rule_id != "module-docstring"
+    ]
 
 
 class TestRngDirectCall:
@@ -264,6 +270,46 @@ class TestNoPrint:
                 return None
         '''
         assert rule_ids(src) == []
+
+
+class TestModuleDocstring:
+    @staticmethod
+    def all_ids(source, path=LIB_PATH):
+        return [f.rule_id for f in lint_source(textwrap.dedent(source), path=path)]
+
+    def test_missing_docstring_triggers(self):
+        src = """
+            def mystery():
+                return 42
+        """
+        assert self.all_ids(src) == ["module-docstring"]
+
+    def test_docstring_is_clean(self):
+        src = '''
+            """A documented module."""
+
+            def known():
+                return 42
+        '''
+        assert self.all_ids(src) == []
+
+    def test_empty_module_is_exempt(self):
+        # Empty ``__init__.py`` package markers are fine without docstrings.
+        assert self.all_ids("") == []
+
+    def test_outside_package_is_exempt(self):
+        src = """
+            def helper():
+                return 42
+        """
+        assert self.all_ids(src, path="scripts/helper.py") == []
+
+    def test_pragma_disables(self):
+        src = """
+            def mystery():  # reprolint: disable=module-docstring
+                return 42
+        """
+        assert self.all_ids(src) == []
 
 
 class TestPragmas:

@@ -16,58 +16,79 @@ from repro.tooling import ALL_RULES, format_report, get_rules, lint_file, lint_t
 VIOLATIONS = {
     "rng-direct-call": (
         "camera/jitter.py",
-        """
+        '''
+        """Fixture: draws randomness outside repro.util.rng."""
+
         import numpy as np
 
         def jitter(seed=None):
             return np.random.default_rng(seed)
-        """,
+        ''',
     ),
     "rng-generator-ctor": (
         "camera/fresh.py",
-        """
+        '''
+        """Fixture: hand-constructs a Generator."""
+
         import numpy as np
 
         def fresh():
             return np.random.Generator()
-        """,
+        ''',
     ),
     "import-layering": (
         "phy/backdoor.py",
-        """
+        '''
+        """Fixture: phy reaching up into rx."""
+
         from repro.rx.receiver import ColorBarsReceiver
-        """,
+        ''',
     ),
     "bare-except": (
         "util/swallow.py",
-        """
+        '''
+        """Fixture: swallows every exception."""
+
         def swallow(fn):
             try:
                 return fn()
             except:
                 return None
-        """,
+        ''',
     ),
     "raw-raise": (
         "color/check.py",
-        """
+        '''
+        """Fixture: raises a raw builtin."""
+
         def check(x):
             if x < 0:
                 raise ValueError("negative")
-        """,
+        ''',
     ),
     "mutable-default": (
         "link/collect.py",
-        """
+        '''
+        """Fixture: mutable default argument."""
+
         def collect(items=[]):
             return items
-        """,
+        ''',
     ),
     "no-print": (
         "rx/debug.py",
-        """
+        '''
+        """Fixture: prints from library code."""
+
         def debug(x):
             print(x)
+        ''',
+    ),
+    "module-docstring": (
+        "fec/undocumented.py",
+        """
+        def mystery():
+            return 42
         """,
     ),
 }
@@ -94,14 +115,16 @@ def clean_tree(tmp_path):
     (root / "util" / "__init__.py").write_text("")
     (root / "util" / "clean.py").write_text(
         textwrap.dedent(
-            """
+            '''
+            """Fixture: a module that violates no rule."""
+
             from repro.exceptions import ConfigurationError
 
             def check(x):
                 if x < 0:
                     raise ConfigurationError(f"negative: {x}")
                 return x
-            """
+            '''
         )
     )
     return root
@@ -118,7 +141,7 @@ class TestLintTree:
         by_rule = {f.rule_id: f for f in report.findings}
         finding = by_rule["rng-direct-call"]
         assert finding.path.endswith("camera/jitter.py")
-        assert finding.line == 5
+        assert finding.line == 7
         assert "make_rng" in finding.message
 
     def test_report_line_format(self, violation_tree):
