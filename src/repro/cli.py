@@ -43,7 +43,17 @@ from repro.perf.runtime import (
     default_cell_timeout,
     run_specs_resilient,
 )
-from repro.tooling import ALL_RULES, format_report, get_rules, lint_tree
+from repro.tooling import (
+    ALL_RULES,
+    Baseline,
+    default_baseline_path,
+    format_report,
+    get_rules,
+    run_analysis,
+    to_json,
+    to_sarif,
+)
+from repro.tooling.reports import updated_baseline
 
 #: Exit status for a run that completed degraded (contained cell failures)
 #: without ``--allow-degraded``.  Distinct from lint's 1 and bench's 2.
@@ -329,22 +339,60 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in ALL_RULES:
-            print(f"{rule.rule_id:>18}  {rule.description}")
+            scope = getattr(rule, "scope", "file")
+            print(f"{rule.rule_id:>18}  [{scope:>7}]  {rule.description}")
         return 0
     paths = args.paths or [str(Path(__file__).resolve().parent)]
-    findings = []
-    files_checked = 0
+    strict = args.strict or args.update_baseline
+    baseline_path = (
+        Path(args.baseline) if args.baseline else default_baseline_path()
+    )
     try:
         rules = get_rules(args.rules.split(",")) if args.rules else None
-        for path in paths:
-            report = lint_tree(path, rules=rules)
-            findings.extend(report.findings)
-            files_checked += report.files_checked
+        if rules is not None and not strict:
+            skipped = [
+                r.rule_id for r in rules if getattr(r, "scope", "file") == "project"
+            ]
+            if skipped:
+                print(
+                    "colorbars lint: note: contract rule(s)"
+                    f" {', '.join(skipped)} run only with --strict",
+                    file=sys.stderr,
+                )
+        baseline = Baseline.load(baseline_path) if strict else None
+        result = run_analysis(
+            paths, rules=rules, strict=strict, baseline=baseline
+        )
     except ToolingError as exc:
         print(f"colorbars lint: error: {exc}", file=sys.stderr)
         return 2
-    print(format_report(sorted(findings), files_checked))
-    return 1 if findings else 0
+    if args.update_baseline:
+        new_baseline = updated_baseline(result, baseline)
+        new_baseline.save(baseline_path)
+        print(
+            f"colorbars lint: baseline updated:"
+            f" {len(new_baseline.entries)} entries -> {baseline_path}"
+        )
+        return 0
+    if args.format == "json":
+        print(to_json(result))
+    elif args.format == "sarif":
+        print(to_sarif(result))
+    else:
+        print(format_report(result.findings, result.files_checked))
+        if result.suppressed:
+            print(
+                f"colorbars lint: {len(result.suppressed)} finding(s)"
+                f" suppressed by baseline {baseline_path}",
+                file=sys.stderr,
+            )
+        for entry in result.stale_baseline_entries:
+            print(
+                "colorbars lint: stale baseline entry (no longer matches):"
+                f" {entry.path} {entry.rule} {entry.message}",
+                file=sys.stderr,
+            )
+    return 1 if result.findings else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -496,6 +544,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument(
         "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    lint_p.add_argument(
+        "--strict", action="store_true",
+        help="also run whole-program contract rules (determinism,"
+             " pickle-safety, obs-schema, exception-taxonomy)",
+    )
+    lint_p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text; json/sarif print one document)",
+    )
+    lint_p.add_argument(
+        "--baseline", default=None,
+        help="baseline of grandfathered findings, applied under --strict"
+             " (default: the packaged tooling/baseline.json)",
+    )
+    lint_p.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to cover all current findings and exit 0"
+             " (implies --strict; new entries get a TODO reason)",
     )
     lint_p.set_defaults(func=cmd_lint)
     return parser

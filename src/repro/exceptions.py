@@ -155,3 +155,7 @@ class BenchError(ToolingError):
 
 class LayeringError(ToolingError):
     """The declared import-layering graph is malformed (cycle, unknown layer)."""
+
+
+class BaselineError(ToolingError):
+    """A reprolint baseline file is malformed (bad JSON, wrong shape/version)."""

@@ -1,4 +1,4 @@
-"""``reprolint``: AST-based invariant linter for the ColorBars codebase.
+"""``reprolint``: AST-based invariant analyzer for the ColorBars codebase.
 
 The reproduction's correctness rests on conventions that the code states but
 Python does not enforce: single-seed reproducibility through
@@ -8,18 +8,50 @@ Python does not enforce: single-seed reproducibility through
 conventions into named, individually testable static-analysis rules that run
 over the package source with :mod:`ast`.
 
+Two rule scopes exist:
+
+* **per-file rules** (:mod:`repro.tooling.rules`) see one parsed module;
+* **contract rules** (:mod:`repro.tooling.contracts`) see the whole-program
+  symbol/import/call graph built by :mod:`repro.tooling.project` and check
+  cross-module invariants — determinism of the simulation layers,
+  pickle-safety of executor payloads, span/metric schema agreement, and the
+  exception taxonomy.  They run under ``colorbars lint --strict``, with
+  grandfathered findings tracked in a committed ``baseline.json``
+  (:mod:`repro.tooling.reports`).
+
 Three entry points consume it:
 
 * ``colorbars lint`` — the CLI subcommand (see :mod:`repro.cli`);
 * ``tests/core/test_lint_clean.py`` — the pytest gate asserting the tree is
-  violation-free;
-* ``.github/workflows/ci.yml`` — the CI job running both of the above.
+  violation-free (and strict-clean modulo the baseline);
+* ``.github/workflows/ci.yml`` — the CI jobs running both, plus a SARIF
+  export for code-scanning consumers.
 
-Findings can be suppressed per line with ``# reprolint: disable=<rule-id>``.
+Findings can be suppressed per line with ``# reprolint: disable=<rule-id>``;
+this works identically for per-file and contract rules.
 """
 
+from repro.tooling.contracts import CONTRACT_RULES, ContractRule, run_contract_rules
 from repro.tooling.findings import Finding, parse_pragmas
 from repro.tooling.layers import LAYER_DEPS, allowed_imports, layer_of
+from repro.tooling.project import (
+    AnalysisCache,
+    ModuleSummary,
+    Project,
+    build_project,
+    module_name_for,
+    shared_cache,
+    summarize_module,
+)
+from repro.tooling.reports import (
+    AnalysisResult,
+    Baseline,
+    default_baseline_path,
+    run_analysis,
+    to_json,
+    to_sarif,
+    validate_sarif,
+)
 from repro.tooling.rules import ALL_RULES, Rule, get_rules
 from repro.tooling.runner import (
     LintReport,
@@ -31,16 +63,33 @@ from repro.tooling.runner import (
 
 __all__ = [
     "ALL_RULES",
+    "AnalysisCache",
+    "AnalysisResult",
+    "Baseline",
+    "CONTRACT_RULES",
+    "ContractRule",
     "Finding",
     "LAYER_DEPS",
     "LintReport",
+    "ModuleSummary",
+    "Project",
     "Rule",
     "allowed_imports",
+    "build_project",
+    "default_baseline_path",
     "format_report",
     "get_rules",
     "layer_of",
     "lint_file",
     "lint_source",
     "lint_tree",
+    "module_name_for",
     "parse_pragmas",
+    "run_analysis",
+    "run_contract_rules",
+    "shared_cache",
+    "summarize_module",
+    "to_json",
+    "to_sarif",
+    "validate_sarif",
 ]

@@ -1,0 +1,424 @@
+"""Analysis orchestration: baselines, JSON/SARIF output, SARIF validation.
+
+This module sits on top of the per-file runner and the whole-program
+contract rules and owns everything about *reporting* them together:
+
+* :class:`Baseline` — a committed ``baseline.json`` of grandfathered
+  findings.  Entries match on ``(path-suffix, rule, message)`` rather than
+  line numbers, so a baselined finding survives unrelated edits above it but
+  dies the moment the offending code changes shape.  Every entry carries a
+  human ``reason``; the repo gate asserts reasons are non-empty, so nothing
+  gets grandfathered silently.
+* :func:`run_analysis` — one entry point combining per-file rules, the
+  optional strict contract pass, and baseline suppression into an
+  :class:`AnalysisResult`.
+* :func:`to_json` / :func:`to_sarif` — machine formats for the CLI; the
+  SARIF document targets the 2.1.0 schema consumed by code-scanning UIs.
+* :func:`validate_sarif` — a structural validator for the subset of SARIF
+  2.1.0 we emit, so CI can assert validity without a jsonschema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import BaselineError, ToolingError
+from repro.tooling.contracts import ContractRule, run_contract_rules
+from repro.tooling.findings import Finding
+from repro.tooling.project import AnalysisCache, build_project, shared_cache
+from repro.tooling.runner import lint_tree
+
+#: Baseline file format version; bump on incompatible shape changes.
+BASELINE_VERSION = 1
+
+#: Reason recorded for entries added mechanically by ``--update-baseline``.
+PLACEHOLDER_REASON = "TODO: justify this exception or fix the finding"
+
+#: SARIF constants for the emitted document.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "reprolint"
+TOOL_VERSION = "2.0.0"
+
+
+def normalize_path(path: str) -> str:
+    """Stable path key: the suffix from the last ``repro/`` component.
+
+    Baselines are committed, but the analyzed tree may live at any absolute
+    path (site-packages, a src checkout, CI workspace).  Keying on the
+    ``repro/...`` suffix makes entries portable across all of them.
+    """
+    unified = path.replace("\\", "/")
+    marker = "repro/"
+    index = unified.rfind(marker)
+    if index >= 0:
+        return unified[index:]
+    return unified
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding, matched by (path, rule, message)."""
+
+    rule: str
+    path: str
+    message: str
+    reason: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (normalize_path(self.path), self.rule, self.message)
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered findings loaded from ``baseline.json``."""
+
+    entries: Tuple[BaselineEntry, ...] = ()
+    source: Optional[str] = None
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.exists():
+            return cls(entries=(), source=str(file_path))
+        try:
+            raw = json.loads(file_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise BaselineError(f"cannot read baseline {file_path}: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {file_path} has unsupported shape/version;"
+                f" expected {{'version': {BASELINE_VERSION}, 'entries': [...]}}"
+            )
+        entries = []
+        for item in raw.get("entries", []):
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=item["rule"],
+                        path=item["path"],
+                        message=item["message"],
+                        reason=item.get("reason", ""),
+                    )
+                )
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"baseline {file_path} entry missing field: {exc}"
+                ) from exc
+        return cls(entries=tuple(entries), source=str(file_path))
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "message": entry.message,
+                    "reason": entry.reason,
+                }
+                for entry in self.entries
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (kept, suppressed); also return stale entries."""
+        by_key = {entry.key: entry for entry in self.entries}
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        matched = set()
+        for finding in findings:
+            key = (normalize_path(finding.path), finding.rule_id, finding.message)
+            if key in by_key:
+                matched.add(key)
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        stale = [entry for entry in self.entries if entry.key not in matched]
+        return kept, suppressed, stale
+
+
+def default_baseline_path() -> Path:
+    """The committed baseline shipped inside the package."""
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass
+class AnalysisResult:
+    """Combined per-file + contract analysis, after baseline suppression."""
+
+    findings: Tuple[Finding, ...]
+    files_checked: int
+    suppressed: Tuple[Finding, ...] = ()
+    stale_baseline_entries: Tuple[BaselineEntry, ...] = ()
+    #: Pre-suppression findings, for ``--update-baseline``.
+    raw_findings: Tuple[Finding, ...] = ()
+    strict: bool = False
+    rule_descriptions: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def run_analysis(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[Any]] = None,
+    strict: bool = False,
+    baseline: Optional[Baseline] = None,
+    cache: Optional[AnalysisCache] = None,
+) -> AnalysisResult:
+    """Lint ``paths`` with per-file rules, plus contract rules when strict.
+
+    ``rules`` may mix per-file rules and contract rules (as ``get_rules``
+    returns them); each pass picks out its own scope.  Baseline suppression
+    applies to the combined finding set.
+    """
+    if cache is None:
+        cache = shared_cache()
+    file_rules = None
+    contract_rules: Optional[List[ContractRule]] = None
+    if rules is not None:
+        file_rules = [r for r in rules if getattr(r, "scope", "file") == "file"]
+        contract_rules = [
+            r for r in rules if getattr(r, "scope", "file") == "project"
+        ]
+    findings: List[Finding] = []
+    files_checked = 0
+    descriptions: Dict[str, str] = {}
+    for root in paths:
+        report = lint_tree(root, rules=file_rules, cache=cache)
+        findings.extend(report.findings)
+        files_checked += report.files_checked
+    if strict:
+        project = build_project(list(paths), cache=cache)
+        findings.extend(run_contract_rules(project, rules=contract_rules))
+    for rule in rules if rules is not None else _registered_rules():
+        descriptions[rule.rule_id] = rule.description
+    raw = tuple(sorted(findings))
+    if baseline is not None:
+        kept, suppressed, stale = baseline.partition(raw)
+    else:
+        kept, suppressed, stale = list(raw), [], []
+    return AnalysisResult(
+        findings=tuple(sorted(kept)),
+        files_checked=files_checked,
+        suppressed=tuple(sorted(suppressed)),
+        stale_baseline_entries=tuple(stale),
+        raw_findings=raw,
+        strict=strict,
+        rule_descriptions=descriptions,
+    )
+
+
+def _registered_rules() -> Sequence[Any]:
+    # Imported lazily: rules.py registers the contract rules, and importing
+    # it at module scope would cycle through reports -> rules -> contracts.
+    from repro.tooling.rules import ALL_RULES
+
+    return ALL_RULES
+
+
+def updated_baseline(result: AnalysisResult, previous: Baseline) -> Baseline:
+    """A new baseline covering every current raw finding.
+
+    Entries that still match keep their human-written reason; genuinely new
+    entries get :data:`PLACEHOLDER_REASON` so review can't miss them.
+    """
+    by_key = {entry.key: entry for entry in previous.entries}
+    entries = []
+    for finding in result.raw_findings:
+        path = normalize_path(finding.path)
+        key = (path, finding.rule_id, finding.message)
+        old = by_key.get(key)
+        entries.append(
+            BaselineEntry(
+                rule=finding.rule_id,
+                path=path,
+                message=finding.message,
+                reason=old.reason if old is not None else PLACEHOLDER_REASON,
+            )
+        )
+    return Baseline(entries=tuple(entries), source=previous.source)
+
+
+def to_json(result: AnalysisResult) -> str:
+    """Machine-readable report: findings plus baseline bookkeeping."""
+    payload = {
+        "version": 1,
+        "tool": TOOL_NAME,
+        "strict": result.strict,
+        "files_checked": result.files_checked,
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "rule": finding.rule_id,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+        "suppressed": len(result.suppressed),
+        "stale_baseline_entries": [
+            {"rule": entry.rule, "path": entry.path, "message": entry.message}
+            for entry in result.stale_baseline_entries
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def to_sarif(result: AnalysisResult) -> str:
+    """Render findings as a SARIF 2.1.0 document (one run, one driver)."""
+    rule_ids = sorted(
+        set(result.rule_descriptions)
+        | {finding.rule_id for finding in result.findings}
+    )
+    sarif_rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": result.rule_descriptions.get(rule_id, rule_id)
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    index_of = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "ruleIndex": index_of[finding.rule_id],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": normalize_path(finding.path)
+                        },
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+        }
+        for finding in result.findings
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": (
+                            "https://example.invalid/colorbars/reprolint"
+                        ),
+                        "rules": sarif_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ToolingError(f"invalid SARIF: {message}")
+
+
+def validate_sarif(document: Union[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Structurally validate a SARIF 2.1.0 document; returns the parsed dict.
+
+    Checks the properties the 2.1.0 schema marks required on the objects we
+    emit (sarifLog: version+runs; run: tool; toolComponent: name; result:
+    message; plus the location shapes code-scanning consumers index on).
+    Raises :class:`~repro.exceptions.ToolingError` with the first problem.
+    """
+    if isinstance(document, str):
+        try:
+            document = json.loads(document)
+        except ValueError as exc:
+            raise ToolingError(f"invalid SARIF: not JSON ({exc})") from exc
+    _require(isinstance(document, dict), "top level must be an object")
+    _require(
+        document.get("version") == SARIF_VERSION,
+        f"version must be '{SARIF_VERSION}'",
+    )
+    runs = document.get("runs")
+    _require(isinstance(runs, list) and len(runs) >= 1, "runs must be a non-empty array")
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        _require(isinstance(run, dict), f"{where} must be an object")
+        driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+        _require(isinstance(driver, dict), f"{where}.tool.driver is required")
+        _require(
+            isinstance(driver.get("name"), str) and driver["name"],
+            f"{where}.tool.driver.name must be a non-empty string",
+        )
+        declared_rules = driver.get("rules", [])
+        _require(isinstance(declared_rules, list), f"{where} driver.rules must be an array")
+        rule_ids = set()
+        for rule in declared_rules:
+            _require(
+                isinstance(rule, dict) and isinstance(rule.get("id"), str),
+                f"{where} driver rules need string ids",
+            )
+            rule_ids.add(rule["id"])
+        results = run.get("results", [])
+        _require(isinstance(results, list), f"{where}.results must be an array")
+        for result_index, result in enumerate(results):
+            rwhere = f"{where}.results[{result_index}]"
+            _require(isinstance(result, dict), f"{rwhere} must be an object")
+            message = result.get("message")
+            _require(
+                isinstance(message, dict) and isinstance(message.get("text"), str),
+                f"{rwhere}.message.text is required",
+            )
+            rule_id = result.get("ruleId")
+            if rule_id is not None:
+                _require(isinstance(rule_id, str), f"{rwhere}.ruleId must be a string")
+                if rule_ids:
+                    _require(
+                        rule_id in rule_ids,
+                        f"{rwhere}.ruleId '{rule_id}' not declared by the driver",
+                    )
+            for loc_index, location in enumerate(result.get("locations", [])):
+                lwhere = f"{rwhere}.locations[{loc_index}]"
+                _require(isinstance(location, dict), f"{lwhere} must be an object")
+                physical = location.get("physicalLocation")
+                if physical is None:
+                    continue
+                _require(isinstance(physical, dict), f"{lwhere}.physicalLocation must be an object")
+                artifact = physical.get("artifactLocation")
+                if artifact is not None:
+                    _require(
+                        isinstance(artifact, dict)
+                        and isinstance(artifact.get("uri"), str),
+                        f"{lwhere} artifactLocation.uri must be a string",
+                    )
+                region = physical.get("region")
+                if region is not None:
+                    _require(isinstance(region, dict), f"{lwhere}.region must be an object")
+                    start_line = region.get("startLine")
+                    if start_line is not None:
+                        _require(
+                            isinstance(start_line, int) and start_line >= 1,
+                            f"{lwhere}.region.startLine must be a positive integer",
+                        )
+    return document

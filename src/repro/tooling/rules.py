@@ -9,15 +9,21 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ToolingError
+from repro.tooling.contracts import CONTRACT_RULES, ContractRule
 from repro.tooling.findings import Finding
 from repro.tooling.layers import (
     APP_LAYER,
     allowed_imports,
     is_import_allowed,
     layer_of,
+)
+from repro.tooling.project import (
+    collect_aliases,
+    resolve_dotted,
+    resolve_relative_base,
 )
 
 #: The one module allowed to talk to ``numpy.random`` / ``random`` directly.
@@ -48,7 +54,7 @@ class ModuleContext:
         if self.layer is None and self.module:
             self.layer = layer_of(self.module)
         if not self.aliases:
-            self.aliases = _collect_aliases(self.tree)
+            self.aliases = collect_aliases(self.tree, self.module)
 
     @property
     def is_library(self) -> bool:
@@ -62,45 +68,17 @@ class ModuleContext:
         )
 
 
-def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
-    """Map local names to the dotted module/object paths they were imported as."""
-    aliases: Dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for item in node.names:
-                if item.asname is not None:
-                    aliases[item.asname] = item.name
-                else:
-                    # ``import numpy.random`` binds the top-level name only.
-                    head = item.name.split(".")[0]
-                    aliases[head] = head
-        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-            for item in node.names:
-                if item.name == "*":
-                    continue
-                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
-    return aliases
-
-
-def resolve_dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
-    """Resolve an ``a.b.c`` expression to its imported dotted path, if any."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    parts.reverse()
-    parts[0] = aliases.get(parts[0], parts[0])
-    return ".".join(parts)
-
-
 class Rule:
-    """Base class: subclasses set ``rule_id``/``description`` and ``check``."""
+    """Base class: subclasses set ``rule_id``/``description`` and ``check``.
+
+    Per-file rules carry ``scope = "file"``; whole-program rules
+    (:mod:`repro.tooling.contracts`) carry ``scope = "project"`` and are
+    skipped by the per-file runner.
+    """
 
     rule_id: str = ""
     description: str = ""
+    scope: str = "file"
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -231,7 +209,7 @@ class ImportLayeringRule(Rule):
                     yield item.name
         elif isinstance(node, ast.ImportFrom):
             if node.level > 0:
-                base = _resolve_relative_base(context.module, node.level)
+                base = resolve_relative_base(context.module, node.level)
                 if base is None:
                     return
                 yield f"{base}.{node.module}" if node.module else base
@@ -241,18 +219,6 @@ class ImportLayeringRule(Rule):
                     yield f"repro.{item.name}"
             elif node.module and node.module.startswith("repro."):
                 yield node.module
-
-
-def _resolve_relative_base(module: str, level: int) -> Optional[str]:
-    """Package a ``level``-deep relative import resolves against, if known."""
-    if not module:
-        return None
-    parts = module.split(".")
-    # The module's own package is parts[:-1]; each extra level climbs once more.
-    cut = len(parts) - level
-    if cut < 1:
-        return None
-    return ".".join(parts[:cut])
 
 
 class BareExceptRule(Rule):
@@ -376,8 +342,12 @@ class ModuleDocstringRule(Rule):
             )
 
 
-#: Registry of every rule, in report order.
-ALL_RULES: Tuple[Rule, ...] = (
+#: Any registered rule: per-file (scope "file") or contract (scope "project").
+LintRule = Union[Rule, ContractRule]
+
+#: Registry of every rule, in report order: per-file rules first, then the
+#: whole-program contract rules (run only under ``--strict``).
+ALL_RULES: Tuple[LintRule, ...] = (
     RngDirectCallRule(),
     RngGeneratorCtorRule(),
     ImportLayeringRule(),
@@ -386,10 +356,10 @@ ALL_RULES: Tuple[Rule, ...] = (
     MutableDefaultRule(),
     NoPrintRule(),
     ModuleDocstringRule(),
-)
+) + CONTRACT_RULES
 
 
-def get_rules(rule_ids: Optional[Sequence[str]] = None) -> Tuple[Rule, ...]:
+def get_rules(rule_ids: Optional[Sequence[str]] = None) -> Tuple[LintRule, ...]:
     """Return all rules, or the named subset (unknown names raise)."""
     if rule_ids is None:
         return ALL_RULES

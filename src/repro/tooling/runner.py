@@ -1,4 +1,12 @@
-"""Drive lint rules over sources, files, and whole trees; format reports."""
+"""Drive lint rules over sources, files, and whole trees; format reports.
+
+File-level linting is memoized through the content-hash keyed
+:class:`~repro.tooling.project.AnalysisCache`: ``lint_file``/``lint_tree``
+default to the shared process-wide cache, so the repo-wide pytest gate and
+repeated CLI runs inside one process re-parse only files whose bytes
+changed.  Pass ``cache=AnalysisCache()`` for isolation or ``cache=False``
+semantics via a fresh instance.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +17,23 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ToolingError
 from repro.tooling.findings import Finding, apply_pragmas, parse_pragmas
+from repro.tooling.project import (
+    AnalysisCache,
+    content_hash,
+    module_name_for,
+    shared_cache,
+)
 from repro.tooling.rules import ALL_RULES, ModuleContext, Rule
+
+__all__ = [
+    "LintReport",
+    "SYNTAX_ERROR_RULE",
+    "format_report",
+    "lint_file",
+    "lint_source",
+    "lint_tree",
+    "module_name_for",
+]
 
 #: Rule id used for files that do not parse at all.
 SYNTAX_ERROR_RULE = "syntax-error"
@@ -30,19 +54,11 @@ class LintReport:
         return format_report(self.findings, self.files_checked)
 
 
-def module_name_for(path: Union[str, Path]) -> str:
-    """Dotted module name for a file under a ``repro`` package tree.
-
-    Keeps the ``__init__`` component (``repro.camera.__init__``) so relative
-    imports resolve against the right package.  Returns ``""`` when the path
-    does not contain a ``repro`` component (e.g. scratch fixture files).
-    """
-    parts = Path(path).with_suffix("").parts
-    try:
-        start = len(parts) - 1 - parts[::-1].index("repro")
-    except ValueError:
-        return ""
-    return ".".join(parts[start:])
+def _rules_signature(rules: Optional[Sequence[Rule]]) -> str:
+    """Cache-key component identifying which rule set produced the findings."""
+    if rules is None:
+        return "<all>"
+    return ",".join(sorted(rule.rule_id for rule in rules))
 
 
 def lint_source(
@@ -51,7 +67,12 @@ def lint_source(
     module: Optional[str] = None,
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[Finding]:
-    """Lint one module's source text; returns sorted, pragma-filtered findings."""
+    """Lint one module's source text; returns sorted, pragma-filtered findings.
+
+    Only per-file rules (``scope == "file"``) run here; whole-program
+    contract rules need a :class:`~repro.tooling.project.Project` and are
+    driven by :func:`repro.tooling.reports.run_analysis`.
+    """
     path = str(path)
     if module is None:
         module = module_name_for(path)
@@ -69,24 +90,39 @@ def lint_source(
     context = ModuleContext(path=path, module=module, tree=tree, source=source)
     findings: List[Finding] = []
     for rule in ALL_RULES if rules is None else rules:
+        if getattr(rule, "scope", "file") != "file":
+            continue
         findings.extend(rule.check(context))
     return sorted(apply_pragmas(findings, parse_pragmas(source)))
 
 
 def lint_file(
-    path: Union[str, Path], rules: Optional[Sequence[Rule]] = None
+    path: Union[str, Path],
+    rules: Optional[Sequence[Rule]] = None,
+    cache: Optional[AnalysisCache] = None,
 ) -> List[Finding]:
-    """Lint one file on disk."""
+    """Lint one file on disk, memoized on its content hash."""
     file_path = Path(path)
     try:
         source = file_path.read_text(encoding="utf-8")
     except OSError as exc:
         raise ToolingError(f"cannot read {file_path}: {exc}") from exc
-    return lint_source(source, path=file_path, rules=rules)
+    if cache is None:
+        cache = shared_cache()
+    digest = content_hash(source)
+    signature = _rules_signature(rules)
+    cached = cache.findings(str(file_path), digest, signature)
+    if cached is not None:
+        return list(cached)
+    findings = lint_source(source, path=file_path, rules=rules)
+    cache.store_findings(str(file_path), digest, findings, signature)
+    return findings
 
 
 def lint_tree(
-    root: Union[str, Path], rules: Optional[Sequence[Rule]] = None
+    root: Union[str, Path],
+    rules: Optional[Sequence[Rule]] = None,
+    cache: Optional[AnalysisCache] = None,
 ) -> LintReport:
     """Lint every ``*.py`` file under ``root`` (or a single file)."""
     root_path = Path(root)
@@ -98,7 +134,7 @@ def lint_tree(
         raise ToolingError(f"lint target does not exist: {root_path}")
     findings: List[Finding] = []
     for file_path in files:
-        findings.extend(lint_file(file_path, rules=rules))
+        findings.extend(lint_file(file_path, rules=rules, cache=cache))
     return LintReport(findings=tuple(sorted(findings)), files_checked=len(files))
 
 

@@ -2,15 +2,24 @@
 
 This is the machine-checked form of the project's code contracts (DESIGN.md
 "Code contracts & static analysis"): RNG discipline, import layering,
-exception hygiene, and the smaller hygiene rules.  If this test fails, run
-``colorbars lint`` for the same report and fix (or, with justification,
-``# reprolint: disable=<rule>``) each finding.
+exception hygiene, and the smaller hygiene rules — plus, in strict mode, the
+whole-program contract rules (determinism, pickle-safety, obs-schema,
+exception-taxonomy) modulo the committed baseline.  If this test fails, run
+``colorbars lint`` (or ``colorbars lint --strict``) for the same report and
+fix (or, with justification, ``# reprolint: disable=<rule>`` / baseline)
+each finding.
 """
 
 from pathlib import Path
 
 import repro
-from repro.tooling import lint_tree
+from repro.tooling import (
+    Baseline,
+    default_baseline_path,
+    lint_tree,
+    run_analysis,
+)
+from repro.tooling.project import AnalysisCache
 
 PACKAGE_ROOT = Path(repro.__file__).resolve().parent
 
@@ -19,3 +28,38 @@ def test_package_tree_is_violation_free():
     report = lint_tree(PACKAGE_ROOT)
     assert report.files_checked >= 70, "lint walked suspiciously few files"
     assert report.clean, "\n" + report.format()
+
+
+def test_package_tree_is_strict_clean_modulo_baseline():
+    baseline = Baseline.load(default_baseline_path())
+    result = run_analysis([PACKAGE_ROOT], strict=True, baseline=baseline)
+    assert result.clean, "\n" + "\n".join(f.format() for f in result.findings)
+    assert not result.stale_baseline_entries, (
+        "baseline entries no longer match any finding — prune them: "
+        + ", ".join(
+            f"{e.path}:{e.rule}" for e in result.stale_baseline_entries
+        )
+    )
+
+
+def test_baseline_entries_are_justified():
+    # Nothing gets grandfathered silently: every committed entry carries a
+    # human-written reason (not the --update-baseline placeholder).
+    baseline = Baseline.load(default_baseline_path())
+    for entry in baseline.entries:
+        assert entry.reason.strip(), f"baseline entry without reason: {entry}"
+        assert not entry.reason.startswith("TODO"), (
+            f"baseline entry still has placeholder reason: {entry}"
+        )
+
+
+def test_second_lint_run_is_cache_warm():
+    # The repo gate runs the linter repeatedly (pytest + CLI in the same
+    # process); the content-hash cache must make every rerun parse-free.
+    cache = AnalysisCache()
+    lint_tree(PACKAGE_ROOT, cache=cache)
+    misses_after_cold = cache.misses
+    assert misses_after_cold > 0
+    report = lint_tree(PACKAGE_ROOT, cache=cache)
+    assert cache.misses == misses_after_cold, "second lint run re-parsed files"
+    assert cache.hits >= report.files_checked

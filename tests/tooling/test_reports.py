@@ -1,0 +1,319 @@
+"""Baseline workflow, JSON/SARIF output, SARIF validation, and CLI flags."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import BaselineError, ToolingError
+from repro.tooling.findings import Finding
+from repro.tooling.project import AnalysisCache
+from repro.tooling.reports import (
+    AnalysisResult,
+    Baseline,
+    BaselineEntry,
+    PLACEHOLDER_REASON,
+    normalize_path,
+    run_analysis,
+    to_json,
+    to_sarif,
+    updated_baseline,
+    validate_sarif,
+)
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    """A mini repro package with one determinism and one taxonomy violation."""
+    root = tmp_path / "repro"
+    (root / "link").mkdir(parents=True)
+    (root / "__init__.py").write_text('"""F."""\n')
+    (root / "link" / "__init__.py").write_text('"""F."""\n')
+    (root / "link" / "helper.py").write_text(
+        textwrap.dedent(
+            '''
+            """F."""
+            import time
+
+            def stamp():
+                return time.time()
+
+            def boom():
+                raise RuntimeError("x")
+            '''
+        )
+    )
+    return root
+
+
+def analyze(tree, **kwargs):
+    kwargs.setdefault("cache", AnalysisCache())
+    return run_analysis([tree], strict=True, **kwargs)
+
+
+class TestNormalizePath:
+    def test_suffix_from_last_repro_component(self):
+        assert normalize_path("/ci/work/src/repro/link/a.py") == "repro/link/a.py"
+        assert normalize_path("C:\\w\\repro\\link\\a.py") == "repro/link/a.py"
+
+    def test_path_without_repro_is_unchanged(self):
+        assert normalize_path("scratch/fixture.py") == "scratch/fixture.py"
+
+
+class TestBaseline:
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "none.json")
+        assert baseline.entries == ()
+
+    def test_round_trip(self, tmp_path):
+        entry = BaselineEntry(
+            rule="determinism", path="repro/a.py", message="m", reason="why"
+        )
+        Baseline(entries=(entry,)).save(tmp_path / "b.json")
+        loaded = Baseline.load(tmp_path / "b.json")
+        assert loaded.entries == (entry,)
+
+    def test_malformed_json_raises(self, tmp_path):
+        (tmp_path / "b.json").write_text("{nope")
+        with pytest.raises(BaselineError, match="cannot read"):
+            Baseline.load(tmp_path / "b.json")
+
+    def test_wrong_version_raises(self, tmp_path):
+        (tmp_path / "b.json").write_text('{"version": 99, "entries": []}')
+        with pytest.raises(BaselineError, match="unsupported"):
+            Baseline.load(tmp_path / "b.json")
+
+    def test_partition_matches_on_path_suffix_not_line(self):
+        entry = BaselineEntry(
+            rule="determinism", path="repro/link/a.py", message="msg", reason="r"
+        )
+        baseline = Baseline(entries=(entry,))
+        matching = Finding(
+            path="/anywhere/src/repro/link/a.py", line=999,
+            rule_id="determinism", message="msg",
+        )
+        other = Finding(
+            path="/anywhere/src/repro/link/a.py", line=1,
+            rule_id="determinism", message="different",
+        )
+        kept, suppressed, stale = baseline.partition([matching, other])
+        assert kept == [other]
+        assert suppressed == [matching]
+        assert stale == []
+
+    def test_stale_entries_reported(self):
+        entry = BaselineEntry(
+            rule="determinism", path="repro/gone.py", message="m", reason="r"
+        )
+        kept, suppressed, stale = Baseline(entries=(entry,)).partition([])
+        assert stale == [entry]
+
+
+class TestRunAnalysis:
+    def test_strict_finds_contract_violations(self, dirty_tree):
+        result = analyze(dirty_tree)
+        rules_hit = sorted({f.rule_id for f in result.findings})
+        assert "determinism" in rules_hit
+        assert "exception-taxonomy" in rules_hit
+        # raw-raise (per-file) fires on the same RuntimeError too
+        assert "raw-raise" in rules_hit
+
+    def test_non_strict_skips_contract_rules(self, dirty_tree):
+        result = run_analysis([dirty_tree], strict=False, cache=AnalysisCache())
+        assert "determinism" not in {f.rule_id for f in result.findings}
+
+    def test_baseline_suppression_and_clean_flag(self, dirty_tree):
+        first = analyze(dirty_tree)
+        baseline = updated_baseline(first, Baseline())
+        second = analyze(dirty_tree, baseline=baseline)
+        assert second.clean
+        assert len(second.suppressed) == len(first.findings)
+        assert second.stale_baseline_entries == ()
+
+    def test_updated_baseline_preserves_reasons(self, dirty_tree):
+        first = analyze(dirty_tree)
+        baseline = updated_baseline(first, Baseline())
+        assert all(e.reason == PLACEHOLDER_REASON for e in baseline.entries)
+        hand_edited = Baseline(
+            entries=tuple(
+                BaselineEntry(e.rule, e.path, e.message, "justified")
+                for e in baseline.entries
+            )
+        )
+        again = updated_baseline(analyze(dirty_tree), hand_edited)
+        assert all(e.reason == "justified" for e in again.entries)
+
+
+class TestJsonOutput:
+    def test_json_shape(self, dirty_tree):
+        result = analyze(dirty_tree)
+        payload = json.loads(to_json(result))
+        assert payload["tool"] == "reprolint"
+        assert payload["strict"] is True
+        assert payload["files_checked"] == result.files_checked
+        assert len(payload["findings"]) == len(result.findings)
+        finding = payload["findings"][0]
+        assert set(finding) == {"path", "line", "rule", "message"}
+
+
+class TestSarifOutput:
+    def test_sarif_validates_and_carries_findings(self, dirty_tree):
+        result = analyze(dirty_tree)
+        document = validate_sarif(to_sarif(result))
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        assert len(run["results"]) == len(result.findings)
+        declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        for sarif_result in run["results"]:
+            assert sarif_result["ruleId"] in declared
+            location = sarif_result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].startswith("repro/")
+            assert location["region"]["startLine"] >= 1
+
+    def test_empty_result_still_validates(self):
+        result = AnalysisResult(findings=(), files_checked=0, strict=True)
+        validate_sarif(to_sarif(result))
+
+
+class TestValidateSarif:
+    def test_rejects_non_json(self):
+        with pytest.raises(ToolingError, match="not JSON"):
+            validate_sarif("{nope")
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ToolingError, match="version"):
+            validate_sarif({"version": "1.0.0", "runs": []})
+
+    def test_rejects_missing_runs(self):
+        with pytest.raises(ToolingError, match="runs"):
+            validate_sarif({"version": "2.1.0"})
+
+    def test_rejects_driver_without_name(self):
+        with pytest.raises(ToolingError, match="driver"):
+            validate_sarif(
+                {"version": "2.1.0", "runs": [{"tool": {}, "results": []}]}
+            )
+
+    def test_rejects_result_without_message_text(self):
+        document = {
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {"driver": {"name": "x"}},
+                    "results": [{"ruleId": "r"}],
+                }
+            ],
+        }
+        with pytest.raises(ToolingError, match="message.text"):
+            validate_sarif(document)
+
+    def test_rejects_undeclared_rule_id(self):
+        document = {
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {"driver": {"name": "x", "rules": [{"id": "a"}]}},
+                    "results": [{"ruleId": "b", "message": {"text": "t"}}],
+                }
+            ],
+        }
+        with pytest.raises(ToolingError, match="not declared"):
+            validate_sarif(document)
+
+
+class TestCliStrictFlags:
+    def test_strict_flags_violations(self, dirty_tree, tmp_path, capsys):
+        code = main(
+            [
+                "lint", "--strict",
+                "--baseline", str(tmp_path / "empty.json"),
+                str(dirty_tree),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "determinism" in out
+        assert "exception-taxonomy" in out
+
+    def test_update_baseline_then_strict_is_clean(self, dirty_tree, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint", "--update-baseline",
+                    "--baseline", str(baseline_path), str(dirty_tree),
+                ]
+            )
+            == 0
+        )
+        assert "baseline updated" in capsys.readouterr().out
+        data = json.loads(baseline_path.read_text())
+        assert data["version"] == 1
+        assert all(e["reason"] == PLACEHOLDER_REASON for e in data["entries"])
+        code = main(
+            ["lint", "--strict", "--baseline", str(baseline_path), str(dirty_tree)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "suppressed by baseline" in captured.err
+
+    def test_stale_entry_warns_but_does_not_fail(self, tmp_path, capsys):
+        root = tmp_path / "repro"
+        (root / "util").mkdir(parents=True)
+        (root / "__init__.py").write_text('"""F."""\n')
+        (root / "util" / "__init__.py").write_text('"""F."""\n')
+        baseline_path = tmp_path / "baseline.json"
+        Baseline(
+            entries=(
+                BaselineEntry("determinism", "repro/gone.py", "m", "r"),
+            )
+        ).save(baseline_path)
+        code = main(
+            ["lint", "--strict", "--baseline", str(baseline_path), str(root)]
+        )
+        assert code == 0
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_format_json(self, dirty_tree, tmp_path, capsys):
+        code = main(
+            [
+                "lint", "--strict", "--format", "json",
+                "--baseline", str(tmp_path / "none.json"), str(dirty_tree),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "reprolint"
+
+    def test_format_sarif_validates(self, dirty_tree, tmp_path, capsys):
+        code = main(
+            [
+                "lint", "--strict", "--format", "sarif",
+                "--baseline", str(tmp_path / "none.json"), str(dirty_tree),
+            ]
+        )
+        assert code == 1
+        validate_sarif(capsys.readouterr().out)
+
+    def test_contract_rules_without_strict_prints_note(self, dirty_tree, capsys):
+        code = main(["lint", "--rules", "determinism", str(dirty_tree)])
+        assert code == 0  # contract rules are skipped without --strict
+        assert "run only with --strict" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_2(self, dirty_tree, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        code = main(["lint", "--strict", "--baseline", str(bad), str(dirty_tree)])
+        assert code == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_list_rules_includes_contract_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "determinism", "pickle-safety", "obs-schema", "exception-taxonomy"
+        ):
+            assert rule_id in out
+        assert "[project]" in out
+        assert "[   file]" in out
