@@ -9,6 +9,13 @@ Reliability matters more than rate here, so the link uses 4-CSK: the
 paper's recommendation for "applications where reliable LED-to-camera
 communication is desirable" (SER below 1e-3).
 
+This version is a *live client* of the session API: the phone pans across
+the ceiling, so frames from all three lights arrive interleaved, and each
+light is one session in a :class:`repro.SessionManager` — admitted, fed
+frame by frame, and closed when the phone moves on.  The original offline
+decode (``LinkSimulator.run``) still runs as the golden check: the live
+sessions must recover byte-identical payloads.
+
 Usage::
 
     python examples/indoor_navigation.py
@@ -16,7 +23,8 @@ Usage::
 
 import zlib
 
-from repro import LinkSimulator, SystemConfig, iphone_5s
+from repro import LinkSimulator, SessionManager, SystemConfig, iphone_5s
+from repro import make_streaming_receiver
 from repro.link.workloads import beacon_payload
 
 
@@ -36,6 +44,27 @@ def parse_beacon(data: bytes):
     return int.from_bytes(body[:4], "big")
 
 
+def recover_broadcast(plan, payloads, k):
+    """Reassemble the cyclic broadcast from a session's decoded payloads.
+
+    Mirrors :meth:`repro.LinkResult.recovered_broadcast` for live sessions:
+    each payload is the k-byte prefix of its systematic codeword, which
+    identifies its block in the cycle.
+    """
+    index_of_prefix = {
+        bytes(codeword[:k]): i for i, codeword in enumerate(plan.codewords)
+    }
+    recovered = {}
+    for payload in payloads:
+        index = index_of_prefix.get(bytes(payload))
+        if index is not None:
+            recovered.setdefault(index, payload)
+    if len(recovered) < len(plan.codewords):
+        return None
+    joined = b"".join(recovered[i] for i in range(len(plan.codewords)))
+    return joined[: len(plan.payload)]
+
+
 def main() -> None:
     device = iphone_5s()
     config = SystemConfig(
@@ -46,14 +75,43 @@ def main() -> None:
     k = config.rs_params().k
     print(f"link: {config.describe()}  (payload {k} bytes/packet)\n")
 
+    # Record each light's broadcast (and keep the batch decode as golden).
+    recordings = {}
+    goldens = {}
     for identifier in FLOOR_MAP:
         beacon = beacon_payload(identifier)  # 4-byte id + CRC32 = 8 bytes
         payload = beacon + bytes((-len(beacon)) % k)
-
         simulator = LinkSimulator(config, device, seed=identifier)
-        result = simulator.run(payload=payload, duration_s=3.0)
+        plan, frames, _ = simulator.record_session(
+            payload=payload, duration_s=3.0
+        )
+        recordings[identifier] = (beacon, plan, frames)
+        goldens[identifier] = LinkSimulator(
+            config, device, seed=identifier
+        ).run(payload=payload, duration_s=3.0)
 
-        recovered = result.recovered_broadcast()
+    # The live client: one session per light, frames interleaved as the
+    # phone pans across the ceiling.
+    manager = SessionManager(
+        lambda session_id: make_streaming_receiver(config, device.timing)
+    )
+    for identifier in FLOOR_MAP:
+        manager.open_session(f"light-{identifier:04x}")
+    longest = max(len(frames) for _, _, frames in recordings.values())
+    for position in range(longest):
+        for identifier, (_, _, frames) in recordings.items():
+            if position < len(frames):
+                manager.submit_frame(f"light-{identifier:04x}", frames[position])
+        manager.pump()
+
+    for identifier, (beacon, plan, _) in recordings.items():
+        session = manager.close_session(f"light-{identifier:04x}")
+        payloads = session.payloads()
+        golden = goldens[identifier]
+        assert payloads == golden.report.payloads, (
+            "live session diverged from the offline golden decode"
+        )
+        recovered = recover_broadcast(plan, payloads, k)
         if recovered is None:
             print(f"light 0x{identifier:04x}: beacon incomplete, keep pointing")
             continue
@@ -62,11 +120,11 @@ def main() -> None:
             print(f"light 0x{identifier:04x}: CRC failed, keep pointing")
             continue
         hint = FLOOR_MAP.get(got_id, "unknown location")
-        ser = result.metrics.data_symbol_error_rate
+        ser = golden.metrics.data_symbol_error_rate
         print(f"light 0x{got_id:04x}: {hint!r}")
         print(
-            f"  SER={ser:.4f}  goodput={result.metrics.goodput_bps:.0f} bps"
-            "  (CRC verified)"
+            f"  SER={ser:.4f}  goodput={golden.metrics.goodput_bps:.0f} bps"
+            "  (CRC verified, live session == batch golden)"
         )
 
 

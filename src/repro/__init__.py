@@ -19,9 +19,13 @@ Quickstart::
 from repro.camera.devices import DeviceProfile, generic_device, iphone_5s, nexus_5
 from repro.core.config import SystemConfig
 from repro.core.metrics import LinkMetrics
-from repro.core.system import ColorBarsTransmitter, make_receiver
+from repro.core.system import (
+    ColorBarsTransmitter,
+    make_receiver,
+    make_streaming_receiver,
+)
 from repro.csk.constellation import Constellation, design_constellation
-from repro.exceptions import ColorBarsError, FrameFailure
+from repro.exceptions import ColorBarsError, FrameFailure, SessionFailure
 from repro.faults import (
     FaultInjector,
     FaultSchedule,
@@ -38,6 +42,8 @@ from repro.link.channel import ChannelConditions
 from repro.link.simulator import LinkResult, LinkSimulator, sweep
 from repro.phy.led import TriLedEmitter, typical_tri_led
 from repro.rx.receiver import ColorBarsReceiver, ReceiverReport
+from repro.rx.streaming import PacketEvent, StreamingReceiver
+from repro.serve import ServePolicy, SessionManager, run_soak
 
 __version__ = "1.0.0"
 
@@ -50,10 +56,12 @@ __all__ = [
     "LinkMetrics",
     "ColorBarsTransmitter",
     "make_receiver",
+    "make_streaming_receiver",
     "Constellation",
     "design_constellation",
     "ColorBarsError",
     "FrameFailure",
+    "SessionFailure",
     "FaultInjector",
     "FaultSchedule",
     "FrameDropInjector",
@@ -73,5 +81,10 @@ __all__ = [
     "typical_tri_led",
     "ColorBarsReceiver",
     "ReceiverReport",
+    "PacketEvent",
+    "StreamingReceiver",
+    "ServePolicy",
+    "SessionManager",
+    "run_soak",
     "__version__",
 ]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import resource
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -29,6 +30,7 @@ from repro.link.simulator import RunSpec
 from repro.link.workloads import text_payload
 from repro.obs import (
     MetricsRegistry,
+    Tracer,
     assemble_trace,
     format_span_tree,
     read_trace,
@@ -43,6 +45,7 @@ from repro.perf.runtime import (
     default_cell_timeout,
     run_specs_resilient,
 )
+from repro.serve import BACKPRESSURE_POLICIES, ServePolicy, SoakSpec, run_soak
 from repro.tooling import (
     ALL_RULES,
     Baseline,
@@ -286,6 +289,92 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _peak_rss_mib() -> float:
+    """Peak resident set size of this process, in MiB (Linux: ru_maxrss KiB)."""
+    peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        peak_kib /= 1024
+    return peak_kib / 1024
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    device = _device(args.device)
+    try:
+        spec = SoakSpec(
+            sessions=args.sessions,
+            seed=args.seed,
+            duration_s=args.duration,
+            csk_order=args.order,
+            symbol_rate=args.rate,
+            distinct_recordings=args.recordings,
+            chaos_fraction=args.chaos_sessions,
+            poison_fraction=args.poison_sessions,
+            stall_fraction=args.stall_sessions,
+            fault_intensity=args.fault_intensity,
+        )
+        spec.validate()
+        policy = ServePolicy(
+            max_sessions=args.max_sessions,
+            max_queued_frames=args.queue_frames,
+            max_queued_bytes=args.queue_bytes,
+            backpressure=args.backpressure,
+            idle_timeout_s=args.idle_timeout,
+            quarantine_after=args.quarantine_after,
+        )
+        policy.validate()
+    except ConfigurationError as exc:
+        raise SystemExit(f"colorbars: {exc}")
+    print(f"device : {device.name}")
+    print(
+        f"serve  : {spec.sessions} session(s), order {spec.csk_order} at "
+        f"{spec.symbol_rate:g} sym/s, {spec.duration_s:g} s each"
+    )
+    tracer = Tracer() if args.trace else None
+    registry = MetricsRegistry() if args.metrics else None
+    report = run_soak(
+        spec, device=device, policy=policy, tracer=tracer, metrics=registry
+    )
+    summary = report.as_dict()
+    roles = ", ".join(
+        f"{role}: {count}" for role, count in sorted(summary["roles"].items())
+    )
+    print(f"roles  : {roles}")
+    print(
+        f"goodput: {summary['goodput_bytes']} bytes decoded in "
+        f"{summary['packets_decoded']} packet(s)"
+    )
+    print(
+        f"queues : peak depth {summary['peak_queue_depth']} "
+        f"(cap {policy.max_queued_frames}), "
+        f"{summary['frames_dropped']} frame(s) dropped"
+    )
+    if summary["rejected"]:
+        print(f"rejected: {len(summary['rejected'])} admission refusal(s)")
+    if summary["evicted"]:
+        print(f"evicted: {len(summary['evicted'])} idle session(s)")
+    print(f"peak rss: {_peak_rss_mib():.1f} MiB")
+    if args.trace:
+        write_trace(args.trace, tracer.spans())
+        print(f"trace  : wrote {len(tracer.spans())} span(s) to {args.trace}")
+    if registry is not None:
+        _emit_metrics(registry, args.metrics)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.output}")
+    if report.failures:
+        for failure in report.failures:
+            print(f"quarantined: {failure.describe()}")
+        counts = {}
+        for failure in report.failures:
+            counts[failure.cause] = counts.get(failure.cause, 0) + 1
+        detail = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+        print(f"DEGRADED: {len(report.failures)} session(s) quarantined ({detail})")
+        return 0 if args.allow_degraded else EXIT_DEGRADED
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     if args.schema:
         print(render_reference(), end="")
@@ -505,6 +594,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump pipeline metrics across both legs ('-' prints lines)",
     )
     bench_p.set_defaults(func=cmd_bench)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="soak the streaming session service (admission, backpressure,"
+        " eviction, quarantine) with optional chaos",
+    )
+    common(serve_p)
+    serve_p.add_argument(
+        "--sessions", type=int, default=200,
+        help="concurrent receiver sessions to drive (default 200)",
+    )
+    serve_p.add_argument(
+        "--duration", type=float, default=0.5,
+        help="recording seconds per session (default 0.5)",
+    )
+    serve_p.add_argument(
+        "--recordings", type=int, default=6,
+        help="distinct simulated recordings shared across sessions (default 6)",
+    )
+    serve_p.add_argument(
+        "--chaos-sessions", type=float, default=0.0, metavar="FRACTION",
+        help="fraction of sessions whose frames pass a fault injector",
+    )
+    serve_p.add_argument(
+        "--poison-sessions", type=float, default=0.0, metavar="FRACTION",
+        help="fraction of sessions whose every frame fails in the receiver",
+    )
+    serve_p.add_argument(
+        "--stall-sessions", type=float, default=0.0, metavar="FRACTION",
+        help="fraction of sessions that go silent and must be idle-evicted",
+    )
+    serve_p.add_argument(
+        "--fault-intensity", type=float, default=0.3,
+        help="injector intensity for chaos sessions (default 0.3)",
+    )
+    serve_p.add_argument(
+        "--max-sessions", type=int, default=1024,
+        help="admission cap on concurrently active sessions (default 1024)",
+    )
+    serve_p.add_argument(
+        "--queue-frames", type=int, default=8,
+        help="per-session frame queue cap (default 8)",
+    )
+    serve_p.add_argument(
+        "--queue-bytes", type=int, default=None,
+        help="per-session queued-bytes cap (default: frame cap only)",
+    )
+    serve_p.add_argument(
+        "--backpressure", choices=BACKPRESSURE_POLICIES, default="drop-oldest",
+        help="full-queue policy (default drop-oldest)",
+    )
+    serve_p.add_argument(
+        "--idle-timeout", type=float, default=0.2, metavar="SECONDS",
+        help="evict sessions silent this long on the soak's virtual clock"
+        " (default 0.2)",
+    )
+    serve_p.add_argument(
+        "--quarantine-after", type=int, default=8, metavar="N",
+        help="consecutive contained frame failures before quarantine"
+        " (default 8)",
+    )
+    serve_p.add_argument(
+        "--allow-degraded", action="store_true",
+        help="exit 0 even when sessions were quarantined (default: exit 3)",
+    )
+    serve_p.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the JSON soak report to PATH",
+    )
+    observability(serve_p)
+    serve_p.set_defaults(func=cmd_serve)
 
     trace_p = sub.add_parser(
         "trace", help="summarize/filter a --trace JSONL file, or print the schema"

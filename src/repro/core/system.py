@@ -18,6 +18,7 @@ from repro.exceptions import ConfigurationError
 from repro.phy.symbols import LogicalSymbol
 from repro.phy.waveform import EXTEND_CYCLE, OpticalWaveform
 from repro.rx.receiver import ColorBarsReceiver
+from repro.rx.streaming import StreamingReceiver
 
 
 @dataclass
@@ -131,3 +132,17 @@ def make_receiver(
         rows_per_symbol=timing.rows_per_symbol(config.symbol_rate),
         **receiver_kwargs,
     )
+
+
+def make_streaming_receiver(
+    config: SystemConfig,
+    timing: SensorTiming,
+    **receiver_kwargs,
+) -> StreamingReceiver:
+    """Build a streaming session receiver for a config and camera timing.
+
+    Same contract as :func:`make_receiver` wrapped in the incremental
+    facade: feed frames as they arrive, read the byte-identical report
+    after ``finish()``.
+    """
+    return StreamingReceiver(make_receiver(config, timing, **receiver_kwargs))

@@ -133,6 +133,65 @@ class CellFailure:
         )
 
 
+class StreamingStateError(ColorBarsError):
+    """A streaming receiver was driven out of order (feed after finish, ...)."""
+
+
+class ServeError(ColorBarsError):
+    """Base class for session-service (``repro.serve``) errors."""
+
+
+class AdmissionError(ServeError):
+    """The session manager refused to admit a new session.
+
+    ``reason`` is a stable machine-readable token (``"capacity"``,
+    ``"duplicate"``, ...) surfaced alongside the human-readable message so
+    callers can branch on the rejection cause without parsing text.
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class SessionStateError(ServeError):
+    """A session was addressed in a state that cannot serve the request
+    (unknown id, already closed, ...)."""
+
+
+@dataclass(frozen=True)
+class SessionFailure:
+    """One contained session failure (the session-service record).
+
+    The :class:`~repro.serve.manager.SessionManager` never lets one poison
+    session kill the service; instead the session is quarantined and its
+    outcome becomes this record — which session, why (cause taxonomy below),
+    and how far it got — mirroring :class:`CellFailure` one level up.
+
+    ``cause`` is one of:
+
+    * ``"poison"`` — repeated contained per-frame failures crossed the
+      quarantine threshold (every frame fails inside the receiver);
+    * ``"error"`` — an exception escaped the receiver itself (a bug or a
+      frame object the pipeline cannot even start on).
+    """
+
+    session_id: str
+    cause: str
+    frames_fed: int
+    consecutive_failures: int
+    error_type: str
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"session {self.session_id!r} {self.cause} after "
+            f"{self.frames_fed} frame(s) "
+            f"({self.consecutive_failures} consecutive failure(s)): "
+            f"{self.error_type}: {self.message}"
+        )
+
+
 class JournalError(ColorBarsError):
     """A sweep run journal is unreadable or violates its schema."""
 

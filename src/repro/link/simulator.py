@@ -251,6 +251,45 @@ class LinkSimulator:
             timings=timings,
         )
 
+    def record_session(
+        self,
+        payload: Optional[bytes] = None,
+        duration_s: float = 2.0,
+    ) -> Tuple[TransmissionPlan, list, FaultSchedule]:
+        """The frame-producing front half of :meth:`run`, without decoding.
+
+        Builds the broadcast plan, records the camera, and applies the
+        configured fault injectors — exactly as :meth:`run` does, with the
+        same seed derivations — but hands back ``(plan, frames, schedule)``
+        instead of decoding.  This is how streaming clients (the session
+        service, live examples) obtain a recording to feed a
+        :class:`~repro.rx.streaming.StreamingReceiver` frame by frame.
+        """
+        require_positive(duration_s, "duration_s")
+        if payload is None:
+            payload = text_payload(3 * self.config.rs_params().k, seed=self.seed)
+        plan, waveform = self._plan_and_waveform(payload)
+        profile = DeviceProfile(
+            name=self.device.name,
+            timing=self.device.timing,
+            response=self.device.response,
+            noise=self.device.noise,
+            optics=self.channel.make_optics(),
+        )
+        camera = profile.make_camera(
+            simulated_columns=self.simulated_columns, seed=self.seed
+        )
+        frames = camera.record(
+            waveform, duration=duration_s, tracer=self.tracer, metrics=self.metrics
+        )
+        if not frames:
+            raise LinkError(
+                f"duration {duration_s}s too short for one frame at "
+                f"{profile.timing.frame_rate} fps"
+            )
+        frames, schedule = self._inject_faults(frames)
+        return plan, frames, schedule
+
     def _plan_and_waveform(
         self, payload: bytes, span=NULL_SPAN
     ) -> Tuple[TransmissionPlan, OpticalWaveform]:

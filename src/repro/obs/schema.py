@@ -44,6 +44,8 @@ SPAN_DEMOD = "demod"
 SPAN_ASSEMBLE = "assemble"
 SPAN_FEC = "fec"
 SPAN_METRICS = "metrics"
+SPAN_SERVE_PUMP = "serve-pump"
+SPAN_SERVE_CLOSE = "serve-close"
 
 # -- metric names ----------------------------------------------------------
 
@@ -68,6 +70,14 @@ M_SWEEP_WORKERS = "colorbars.sweep.workers"
 M_RUN_WALL_SECONDS = "colorbars.run.wall_seconds"
 M_FRAME_BANDS = "colorbars.frame.bands"
 M_PACKET_ERASURES = "colorbars.packet.erasures"
+M_SESSIONS_ADMITTED = "colorbars.sessions.admitted"
+M_SESSIONS_REJECTED = "colorbars.sessions.rejected"
+M_SESSIONS_EVICTED = "colorbars.sessions.evicted"
+M_SESSIONS_QUARANTINED = "colorbars.sessions.quarantined"
+M_SESSIONS_CLOSED = "colorbars.sessions.closed"
+M_SESSIONS_ACTIVE = "colorbars.sessions.active"
+M_SESSION_FRAMES_DROPPED = "colorbars.sessions.frames_dropped"
+M_SESSION_QUEUE_PEAK = "colorbars.sessions.queue_peak"
 
 
 @dataclass(frozen=True)
@@ -159,6 +169,16 @@ SPANS: Tuple[SpanEntry, ...] = (
         SPAN_METRICS, SPAN_CELL, "repro.link.simulator",
         "Ground-truth alignment and link-metric computation.",
     ),
+    SpanEntry(
+        SPAN_SERVE_PUMP, "(root)", "repro.serve.manager",
+        "One SessionManager pump pass: queued frames fed to their "
+        "streaming receivers; sessions/frames/quarantines as attributes.",
+    ),
+    SpanEntry(
+        SPAN_SERVE_CLOSE, "(root)", "repro.serve.manager",
+        "One session teardown (close or idle eviction): the streaming "
+        "flush plus its final packet accounting as attributes.",
+    ),
 )
 
 #: Every metric the pipeline can record.
@@ -249,6 +269,40 @@ METRICS: Tuple[MetricEntry, ...] = (
     MetricEntry(
         M_PACKET_ERASURES, KIND_HISTOGRAM, "symbols", "repro.rx.receiver",
         "Erasure positions per seen packet, before the FEC budget check.",
+    ),
+    MetricEntry(
+        M_SESSIONS_ADMITTED, KIND_COUNTER, "sessions", "repro.serve.manager",
+        "Sessions admitted by the session manager.",
+    ),
+    MetricEntry(
+        M_SESSIONS_REJECTED, KIND_COUNTER, "sessions", "repro.serve.manager",
+        "Session admissions refused (capacity or duplicate id).",
+    ),
+    MetricEntry(
+        M_SESSIONS_EVICTED, KIND_COUNTER, "sessions", "repro.serve.manager",
+        "Sessions evicted after exceeding the idle timeout.",
+    ),
+    MetricEntry(
+        M_SESSIONS_QUARANTINED, KIND_COUNTER, "sessions", "repro.serve.manager",
+        "Poison sessions quarantined as SessionFailure records.",
+    ),
+    MetricEntry(
+        M_SESSIONS_CLOSED, KIND_COUNTER, "sessions", "repro.serve.manager",
+        "Sessions closed cleanly (explicit close, streaming flush ran).",
+    ),
+    MetricEntry(
+        M_SESSIONS_ACTIVE, KIND_GAUGE, "sessions", "repro.serve.manager",
+        "Currently admitted, not yet closed/evicted/quarantined sessions.",
+    ),
+    MetricEntry(
+        M_SESSION_FRAMES_DROPPED, KIND_COUNTER, "frames", "repro.serve.manager",
+        "Frames shed by backpressure (drop-oldest or reject) plus frames "
+        "discarded when their session was quarantined.",
+    ),
+    MetricEntry(
+        M_SESSION_QUEUE_PEAK, KIND_GAUGE, "frames", "repro.serve.manager",
+        "Deepest per-session frame queue observed since the manager "
+        "started (never exceeds the configured cap).",
     ),
 )
 

@@ -37,13 +37,16 @@ from repro.core.config import SystemConfig
 from repro.exceptions import BenchError
 from repro.link.simulator import LinkResult, RunSpec
 from repro.perf.runtime import RuntimePolicy, run_specs_resilient
+from repro.util.clock import wall_clock
 from repro.util.stopwatch import StageTimings
 
 #: Bump when the report layout changes; validators check it exactly.
 #: v2 added ``failures`` (resilient-runtime cell failures during the bench)
 #: and ``history`` (bounded list of prior reports, so the perf trajectory
 #: survives reruns instead of being clobbered).
-BENCH_SCHEMA_VERSION = 2
+#: v3 added ``speedup_meaningful`` — false on single-CPU machines, where
+#: the serial/parallel comparison measures pool overhead, not parallelism.
+BENCH_SCHEMA_VERSION = 3
 
 #: Default output path (repo root by convention).
 BENCH_FILENAME = "BENCH_colorbars.json"
@@ -65,6 +68,7 @@ REQUIRED_KEYS = (
     "wall_clock_s",
     "cells_per_sec",
     "speedup",
+    "speedup_meaningful",
     "history",
 )
 
@@ -122,7 +126,9 @@ def micro_sweep_specs(quick: bool = False) -> List[RunSpec]:
     ]
 
 
-def run_bench(workers: int = 4, quick: bool = False, metrics=None) -> Dict:
+def run_bench(
+    workers: int = 4, quick: bool = False, metrics=None, clock=None
+) -> Dict:
     """Execute the micro-sweep serially and at ``workers``, return the report.
 
     Both legs run through the resilient runtime (containment only — no
@@ -134,7 +140,12 @@ def run_bench(workers: int = 4, quick: bool = False, metrics=None) -> Dict:
     counter totals cover 2x the grid.  Observation is measurement metadata
     and does not enter the report's timings comparison beyond its own
     (null-path) overhead.
+
+    ``clock`` stamps ``generated_unix`` (provenance metadata only) and
+    defaults to :data:`repro.util.clock.wall_clock`; tests inject a
+    constant for reproducible reports.
     """
+    clock = clock if clock is not None else wall_clock
     specs = micro_sweep_specs(quick=quick)
     policy = RuntimePolicy()
 
@@ -154,12 +165,13 @@ def run_bench(workers: int = 4, quick: bool = False, metrics=None) -> Dict:
             stages.merge(result.timings)
 
     cells = len(specs)
+    cpu_count = _cpu_count()
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "git_rev": _git_rev(),
-        "generated_unix": time.time(),
+        "generated_unix": clock(),
         "workers": workers,
-        "cpu_count": _cpu_count(),
+        "cpu_count": cpu_count,
         "quick": quick,
         "cells": cells,
         "failures": len(serial.failures) + len(parallel.failures),
@@ -176,6 +188,10 @@ def run_bench(workers: int = 4, quick: bool = False, metrics=None) -> Dict:
             "parallel": round(cells / parallel_wall, 4),
         },
         "speedup": round(serial_wall / parallel_wall, 4),
+        # On one CPU the two legs contend for the same core: the ratio
+        # measures pool overhead, not parallelism, and must not be read as
+        # a regression against a multi-core runner's reports.
+        "speedup_meaningful": cpu_count > 1,
     }
 
 
@@ -199,6 +215,11 @@ def format_breakdown(report: Dict) -> List[str]:
         f"parallel: {wall['parallel']:.3f} s ({cps['parallel']:.2f} cells/s) "
         f"at {report['workers']} workers -> speedup {report['speedup']:.2f}x"
     )
+    if not report.get("speedup_meaningful", True):
+        lines.append(
+            "warning : single CPU — speedup measures pool overhead, "
+            "not parallelism"
+        )
     if report.get("failures"):
         lines.append(
             f"DEGRADED: {report['failures']} cell failure(s) contained "
@@ -268,6 +289,11 @@ def validate_report(report: Dict) -> None:
         raise BenchError("stages_s must be a non-empty object")
     if not isinstance(report["speedup"], (int, float)) or report["speedup"] <= 0:
         raise BenchError(f"speedup must be positive, got {report['speedup']!r}")
+    if not isinstance(report["speedup_meaningful"], bool):
+        raise BenchError(
+            "speedup_meaningful must be a boolean, got "
+            f"{report['speedup_meaningful']!r}"
+        )
     failures = report["failures"]
     if not isinstance(failures, int) or isinstance(failures, bool) or failures < 0:
         raise BenchError(

@@ -109,6 +109,59 @@ class AssemblerStats:
         self.max_gap_symbols = 0
 
 
+class PreambleScanner:
+    """Greedy left-to-right preamble matcher, resumable across feeds.
+
+    The batch matcher scans the whole stitched character stream once; this
+    class is that same scan with an explicit cursor so a streaming receiver
+    can resume it as new symbols arrive.  ``scan(chars, final=False)``
+    *waits* (stops without deciding) at any position where the available
+    suffix is still a proper prefix of a preamble skeleton — deciding there
+    could contradict what the batch pass would conclude once the rest of the
+    pattern arrived.  A ``final=True`` scan applies exact batch semantics
+    (a partial prefix at end-of-stream is not a match), so the concatenated
+    match list over any feed split equals the batch match list by
+    construction.  Calibration is tried before data at every position,
+    mirroring the batch matcher's priority.
+    """
+
+    def __init__(self, calibration: str, data: str) -> None:
+        self.calibration = calibration
+        self.data = data
+        #: Cursor: every position before it has been decided.
+        self.position = 0
+
+    @staticmethod
+    def _could_complete(chars: str, position: int, pattern: str) -> bool:
+        """True if ``chars[position:]`` is a proper prefix of ``pattern``."""
+        remaining = len(chars) - position
+        return remaining < len(pattern) and pattern.startswith(chars[position:])
+
+    def scan(self, chars: str, final: bool) -> List[tuple]:
+        """Advance the cursor, returning newly decided ``(start, kind)``."""
+        matches: List[tuple] = []
+        position = self.position
+        while position < len(chars):
+            if not final and (
+                self._could_complete(chars, position, self.calibration)
+                or (
+                    not chars.startswith(self.calibration, position)
+                    and self._could_complete(chars, position, self.data)
+                )
+            ):
+                break
+            if chars.startswith(self.calibration, position):
+                matches.append((position, PacketKind.CALIBRATION))
+                position += len(self.calibration)
+            elif chars.startswith(self.data, position):
+                matches.append((position, PacketKind.DATA))
+                position += len(self.data)
+            else:
+                position += 1
+        self.position = position
+        return matches
+
+
 class PacketAssembler:
     """Stitches frames, locates packets, reconstructs codewords + erasures."""
 
@@ -131,25 +184,42 @@ class PacketAssembler:
         ``round(dt / T) - 1`` symbols vanished (gap plus any edge bands the
         segmenter discarded).
         """
-        period = 1.0 / self.symbol_rate
         items: List[StreamItem] = []
         previous_band: Optional[ReceivedBand] = None
         for frame_bands in per_frame_bands:
-            for band in frame_bands:
-                if previous_band is not None:
-                    dt = band.mid_time - previous_band.mid_time
-                    missing = int(round(dt / period)) - 1
-                    if missing > 0:
-                        items.append(StreamItem(band=None, lost=missing))
-                        self.stats.symbols_lost_in_gaps += missing
-                        self.stats.gaps_inserted += 1
-                        self.stats.max_gap_symbols = max(
-                            self.stats.max_gap_symbols, missing
-                        )
-                items.append(StreamItem(band=band))
-                previous_band = band
-        self.stats.symbols_consumed += sum(1 for i in items if not i.is_gap)
+            previous_band = self.stitch_into(items, frame_bands, previous_band)
         return items
+
+    def stitch_into(
+        self,
+        items: List[StreamItem],
+        frame_bands: Sequence[ReceivedBand],
+        previous_band: Optional[ReceivedBand],
+    ) -> Optional[ReceivedBand]:
+        """Fold one frame's bands onto a stitched stream, in place.
+
+        The incremental form of :meth:`stitch` (which is a fold over this
+        method, so batch and streaming stitching cannot diverge): the caller
+        carries ``previous_band`` across calls and gap markers are inserted
+        exactly where the batch pass would put them.  Returns the new
+        ``previous_band``.
+        """
+        period = 1.0 / self.symbol_rate
+        for band in frame_bands:
+            if previous_band is not None:
+                dt = band.mid_time - previous_band.mid_time
+                missing = int(round(dt / period)) - 1
+                if missing > 0:
+                    items.append(StreamItem(band=None, lost=missing))
+                    self.stats.symbols_lost_in_gaps += missing
+                    self.stats.gaps_inserted += 1
+                    self.stats.max_gap_symbols = max(
+                        self.stats.max_gap_symbols, missing
+                    )
+            items.append(StreamItem(band=band))
+            self.stats.symbols_consumed += 1
+            previous_band = band
+        return previous_band
 
     # -- preamble matching -------------------------------------------------
 
@@ -175,21 +245,15 @@ class PacketAssembler:
         """Map an o/w preamble string to its dark/lit skeleton."""
         return "".join("o" if c == "o" else "x" for c in pattern)
 
+    def make_scanner(self) -> "PreambleScanner":
+        """A fresh incremental scanner over this packetizer's skeletons."""
+        return PreambleScanner(
+            calibration=self._skeleton(DELIMITER + CALIBRATION_FLAG),
+            data=self._skeleton(DELIMITER + DATA_FLAG),
+        )
+
     def _find_preambles(self, chars: str) -> List[tuple]:
-        calibration = self._skeleton(DELIMITER + CALIBRATION_FLAG)
-        data = self._skeleton(DELIMITER + DATA_FLAG)
-        matches: List[tuple] = []
-        position = 0
-        while position < len(chars):
-            if chars.startswith(calibration, position):
-                matches.append((position, PacketKind.CALIBRATION))
-                position += len(calibration)
-            elif chars.startswith(data, position):
-                matches.append((position, PacketKind.DATA))
-                position += len(data)
-            else:
-                position += 1
-        return matches
+        return self.make_scanner().scan(chars, final=True)
 
     # -- packet extraction -------------------------------------------------
 
@@ -209,25 +273,42 @@ class PacketAssembler:
         packets: List[ReceivedPacket] = []
         calibrations: List[CalibrationEvent] = []
         for match_index, (start, kind) in enumerate(matches):
-            flag = DATA_FLAG if kind is PacketKind.DATA else CALIBRATION_FLAG
-            body_start = start + len(DELIMITER) + len(flag)
             limit = (
                 matches[match_index + 1][0]
                 if match_index + 1 < len(matches)
                 else len(items)
             )
+            result = self.extract_window(items, start, kind, limit)
+            if result is None:
+                continue
             if kind is PacketKind.CALIBRATION:
-                event = self._extract_calibration(items, body_start, limit)
-                if event is None:
-                    self.stats.calibration_packets_dropped += 1
-                else:
-                    self.stats.calibration_packets_ok += 1
-                    calibrations.append(event)
+                calibrations.append(result)
             else:
-                packet = self._extract_data(items, body_start, limit)
-                if packet is not None:
-                    packets.append(packet)
+                packets.append(result)
         return packets, calibrations
+
+    def extract_window(
+        self, items: List[StreamItem], start: int, kind: PacketKind, limit: int
+    ):
+        """Extract the one packet whose preamble matched at ``start``.
+
+        The window runs from the preamble to ``limit`` (the next preamble's
+        start, or the end of the stream).  Both the batch :meth:`extract`
+        loop and the streaming receiver's codeword-close path call this, so
+        per-window extraction cannot diverge between them.  Returns a
+        :class:`ReceivedPacket`, a :class:`CalibrationEvent`, or ``None``
+        for a dropped packet; stats are updated either way.
+        """
+        flag = DATA_FLAG if kind is PacketKind.DATA else CALIBRATION_FLAG
+        body_start = start + len(DELIMITER) + len(flag)
+        if kind is PacketKind.CALIBRATION:
+            event = self._extract_calibration(items, body_start, limit)
+            if event is None:
+                self.stats.calibration_packets_dropped += 1
+            else:
+                self.stats.calibration_packets_ok += 1
+            return event
+        return self._extract_data(items, body_start, limit)
 
     def _anchor_time(self, items: List[StreamItem], body_start: int) -> float:
         """On-air time of the last preamble symbol before ``body_start``.

@@ -214,7 +214,24 @@ class ColorBarsReceiver:
         for frame in frames:
             with self.tracer.span(SPAN_SEGMENT, frame=frame.index):
                 segmented.append(self._segment_frame(frame))
+        return self._process_segmented(segmented, report)
 
+    def _process_segmented(
+        self,
+        segmented: Sequence["_SegmentedFrame"],
+        report: ReceiverReport,
+        collect: Optional[list] = None,
+    ) -> ReceiverReport:
+        """Everything after segmentation: bootstrap, classify, assemble, FEC.
+
+        Shared verbatim by :meth:`process_frames` and the buffered-bootstrap
+        path of :class:`repro.rx.streaming.StreamingReceiver` (which must
+        replay the non-causal bootstrap pass at ``finish()``), so the two
+        cannot diverge.  ``collect``, when given, receives one
+        ``(packet, outcome)`` tuple per seen packet — ``outcome`` is the
+        decoded payload bytes or the :class:`FecFailure` — for callers that
+        need per-packet events on top of the aggregate report.
+        """
         if not self.calibration.is_calibrated:
             with self.tracer.span(SPAN_CALIBRATE) as span:
                 self._bootstrap_calibration(segmented, report)
@@ -222,7 +239,7 @@ class ColorBarsReceiver:
                 span.set("updates", report.calibration_updates)
             if not self.calibration.is_calibrated:
                 # Never saw a usable calibration packet: nothing decodable.
-                report.frames_processed = len(frames)
+                report.frames_processed = len(segmented)
                 self._record_report_metrics(report)
                 return report
 
@@ -231,7 +248,7 @@ class ColorBarsReceiver:
                 self._classify_frame(seg, report.frame_failures)
                 for seg in segmented
             ]
-            report.frames_processed = len(frames)
+            report.frames_processed = len(segmented)
             bands_histogram = self.metrics.histogram(M_FRAME_BANDS)
             for bands in per_frame_bands:
                 report.bands.extend(bands)
@@ -257,7 +274,9 @@ class ColorBarsReceiver:
             for packet in packets:
                 report.packets_seen += 1
                 erasure_histogram.observe(len(packet.erasure_positions))
-                self._decode_packet(packet, report)
+                outcome = self._decode_packet(packet, report)
+                if collect is not None:
+                    collect.append((packet, outcome))
             span.set("decoded", report.packets_decoded)
             span.set("failed", report.packets_failed_fec)
         self._record_report_metrics(report)
@@ -398,45 +417,47 @@ class ColorBarsReceiver:
         )
         return residual is None or residual <= CALIBRATION_RESIDUAL_LIMIT_DELTA_E
 
-    def _decode_packet(
-        self, packet: ReceivedPacket, report: ReceiverReport
-    ) -> None:
+    def _decode_packet(self, packet: ReceivedPacket, report: ReceiverReport):
+        """Decode one packet into ``report``; return the per-packet outcome.
+
+        The outcome — the decoded payload ``bytes`` on success, the recorded
+        :class:`FecFailure` otherwise — lets the streaming facade emit a
+        packet event without re-deriving what happened from counter deltas.
+        """
         expected_n = self.codec.n
         parity = self.codec.num_parity
 
-        def fail(reason: str, erasure_count: int, message: str = "") -> None:
-            report.packets_failed_fec += 1
-            report.fec_failures.append(
-                FecFailure(
-                    first_frame=packet.first_frame,
-                    reason=reason,
-                    erasures=erasure_count,
-                    parity_budget=parity,
-                    message=message,
-                )
+        def fail(reason: str, erasure_count: int, message: str = "") -> FecFailure:
+            failure = FecFailure(
+                first_frame=packet.first_frame,
+                reason=reason,
+                erasures=erasure_count,
+                parity_budget=parity,
+                message=message,
             )
+            report.packets_failed_fec += 1
+            report.fec_failures.append(failure)
+            return failure
 
         if packet.header_bytes != expected_n:
             # Header advertises a codeword the shared config does not use:
             # treat as a corrupt header (paper: discard the packet).
-            fail(
+            return fail(
                 FEC_HEADER_MISMATCH,
                 len(packet.erasure_positions),
                 f"header advertises n={packet.header_bytes}, codec n={expected_n}",
             )
-            return
         erasures = [p for p in packet.erasure_positions if p < expected_n]
         if len(erasures) > parity:
-            fail(
+            return fail(
                 FEC_ERASURE_BUDGET,
                 len(erasures),
                 f"{len(erasures)} erasures exceed parity budget {parity}",
             )
-            return
         try:
             payload = self.codec.decode(packet.codeword, erasures)
         except UncorrectableBlockError as exc:
-            fail(FEC_UNCORRECTABLE, len(erasures), str(exc))
-            return
+            return fail(FEC_UNCORRECTABLE, len(erasures), str(exc))
         report.payloads.append(payload)
         report.packets_decoded += 1
+        return payload

@@ -1,0 +1,75 @@
+"""Resilient session service over the streaming receiver core.
+
+The :mod:`repro.rx.streaming` core turns one receiver into an incremental
+``feed``/``finish`` session; this package turns *many* of them into a
+service: :class:`SessionManager` admits sessions up to a cap, bounds each
+one's frame queue (backpressure), evicts idlers, and quarantines sessions
+that keep failing — all with structured refusals and
+:class:`~repro.exceptions.SessionFailure` records instead of crashes.
+:func:`run_soak` is the deterministic chaos harness that proves those
+contracts at fleet scale (``colorbars serve``).
+"""
+
+from repro.serve.manager import (
+    BACKPRESSURE_DROP_OLDEST,
+    BACKPRESSURE_POLICIES,
+    BACKPRESSURE_REJECT,
+    REJECT_CAPACITY,
+    REJECT_DUPLICATE,
+    SUBMIT_ACCEPTED,
+    SUBMIT_DROPPED_OLDEST,
+    SUBMIT_DROPPED_QUARANTINED,
+    SUBMIT_REJECTED_FULL,
+    ServePolicy,
+    SessionManager,
+)
+from repro.serve.session import (
+    STATE_ACTIVE,
+    STATE_CLOSED,
+    STATE_EVICTED,
+    STATE_QUARANTINED,
+    ReceiverSession,
+    frame_cost_bytes,
+)
+from repro.serve.soak import (
+    ROLE_CHAOS,
+    ROLE_HEALTHY,
+    ROLE_POISON,
+    ROLE_STALL,
+    PoisonFrame,
+    SessionOutcome,
+    SoakReport,
+    SoakSpec,
+    VirtualClock,
+    run_soak,
+)
+
+__all__ = [
+    "BACKPRESSURE_DROP_OLDEST",
+    "BACKPRESSURE_POLICIES",
+    "BACKPRESSURE_REJECT",
+    "REJECT_CAPACITY",
+    "REJECT_DUPLICATE",
+    "SUBMIT_ACCEPTED",
+    "SUBMIT_DROPPED_OLDEST",
+    "SUBMIT_DROPPED_QUARANTINED",
+    "SUBMIT_REJECTED_FULL",
+    "ServePolicy",
+    "SessionManager",
+    "STATE_ACTIVE",
+    "STATE_CLOSED",
+    "STATE_EVICTED",
+    "STATE_QUARANTINED",
+    "ReceiverSession",
+    "frame_cost_bytes",
+    "ROLE_CHAOS",
+    "ROLE_HEALTHY",
+    "ROLE_POISON",
+    "ROLE_STALL",
+    "PoisonFrame",
+    "SessionOutcome",
+    "SoakReport",
+    "SoakSpec",
+    "VirtualClock",
+    "run_soak",
+]

@@ -54,6 +54,7 @@ DETERMINISTIC_LAYERS = frozenset(
         "analysis",
         "baselines",
         "perf",
+        "serve",
     }
 )
 

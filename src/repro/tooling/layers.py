@@ -6,7 +6,7 @@ architecture is a strict bottom-up chain through the optical pipeline::
 
     exceptions -> util -> color -> phy -> {csk, fec, camera}
         -> {packet, flicker, video, faults} -> rx -> core -> link
-        -> {analysis, baselines, perf}
+        -> {analysis, baselines, perf, serve}
 
 (``faults`` sits between ``camera`` and ``link``: injectors transform
 captured frames, and only the link layer composes them into runs;
@@ -58,6 +58,7 @@ LAYER_DEPS: Dict[str, FrozenSet[str]] = {
     "analysis": frozenset({"link"}),
     "baselines": frozenset({"rx"}),
     "perf": frozenset({"link", "obs"}),
+    "serve": frozenset({"link"}),
     "tooling": frozenset({"util"}),
 }
 

@@ -1,0 +1,19 @@
+"""The wall-clock seam: the one sanctioned way to read calendar time.
+
+Simulation layers are pure functions of (config, seed) — reprolint's
+determinism contract bans ``time.time`` and friends there outright.  But
+*provenance metadata* (the ``generated_unix`` stamp on a bench report)
+legitimately wants the calendar, so this module provides the injectable
+seam: callers take a ``clock`` parameter defaulting to :data:`wall_clock`,
+and tests inject a constant.  Keeping the alias here (``util`` layer)
+means the call site names ``repro.util.clock.wall_clock`` — an explicit,
+greppable declaration that calendar time is metadata, never an input to
+results.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Seconds since the Unix epoch, as a plain callable to pass around.
+wall_clock = time.time

@@ -46,12 +46,12 @@ def modulator8(constellation8, led):
     return CskModulator(constellation8, led, symbol_rate=1000.0)
 
 
-@pytest.fixture
-def tiny_device():
+def make_tiny_device() -> DeviceProfile:
     """A small, fast camera profile for pipeline tests.
 
     400 rows at 30 fps with a 25% gap gives 16 rows per symbol at 1 kHz —
-    above the 10-row minimum, and frames render in ~1 ms.
+    above the 10-row minimum, and frames render in ~1 ms.  A plain function
+    so module-scoped fixtures (the serve soak) can build their own copy.
     """
     return DeviceProfile(
         name="tiny",
@@ -66,6 +66,11 @@ def tiny_device():
         noise=SensorNoise(row_noise=0.02),
         optics=Optics(ambient_luminance=0.2),
     )
+
+
+@pytest.fixture
+def tiny_device():
+    return make_tiny_device()
 
 
 @pytest.fixture

@@ -36,7 +36,9 @@ class TestMicroSweep:
 class TestRunBench:
     @pytest.fixture(scope="class")
     def report(self):
-        return run_bench(workers=1, quick=True)
+        # A pinned clock exercises the provenance seam: generated_unix is
+        # injectable metadata, never wall-clock read inside the perf layer.
+        return run_bench(workers=1, quick=True, clock=lambda: 12345.0)
 
     def test_report_passes_schema(self, report):
         validate_report(report)
@@ -79,6 +81,19 @@ class TestRunBench:
         assert "serial" in text and "parallel" in text
         assert "record" in text
 
+    def test_injected_clock_stamps_generated_unix(self, report):
+        assert report["generated_unix"] == 12345.0
+
+    def test_speedup_meaningful_tracks_cpu_count(self, report):
+        assert report["speedup_meaningful"] == (report["cpu_count"] > 1)
+
+    def test_single_cpu_warning_in_breakdown(self, report):
+        single = dict(report, cpu_count=1, speedup_meaningful=False)
+        text = "\n".join(format_breakdown(single))
+        assert "single CPU" in text
+        multi = dict(report, cpu_count=8, speedup_meaningful=True)
+        assert "single CPU" not in "\n".join(format_breakdown(multi))
+
 
 class TestValidateReport:
     @staticmethod
@@ -96,6 +111,7 @@ class TestValidateReport:
             "wall_clock_s": {"serial": 2.0, "parallel": 1.5},
             "cells_per_sec": {"serial": 1.0, "parallel": 1.3},
             "speedup": 1.3,
+            "speedup_meaningful": False,
             "history": [],
         }
 
@@ -148,6 +164,12 @@ class TestValidateReport:
         report = self._valid()
         report["stages_s"] = {}
         with pytest.raises(BenchError, match="stages_s"):
+            validate_report(report)
+
+    def test_non_bool_speedup_meaningful_rejected(self):
+        report = self._valid()
+        report["speedup_meaningful"] = 1
+        with pytest.raises(BenchError, match="speedup_meaningful"):
             validate_report(report)
 
     def test_non_object_rejected(self):
