@@ -100,14 +100,29 @@ class AutoExposure:
             raise CameraError("mean_linear_level must be >= 0")
         if self.locked:
             return self._settings
+        drift = (
+            float(rng.normal(0.0, self.drift_sigma))
+            if self.drift_sigma > 0
+            else 0.0
+        )
+        return self.step(mean_linear_level, drift)
 
+    def step(self, mean_linear_level: float, drift_normal: float) -> ExposureSettings:
+        """Advance the controller one frame with a pre-drawn drift normal.
+
+        The vectorized capture prologue (:mod:`repro.camera.capture`) draws
+        all drift normals for a recording up front and feeds them here one
+        frame at a time; :meth:`observe_frame` is the draw-then-step wrapper
+        for single-frame capture.  Callers are responsible for the ``locked``
+        check — a locked controller must not be stepped.
+        """
+        if mean_linear_level < 0:
+            raise CameraError("mean_linear_level must be >= 0")
         observed = max(mean_linear_level, 1e-4)
         correction = (self.target_level / observed) ** self.adapt_rate
         correction = float(np.clip(correction, 0.25, 4.0))
         if self.drift_sigma > 0:
-            correction *= float(
-                np.exp(rng.normal(0.0, self.drift_sigma))
-            )
+            correction *= float(np.exp(drift_normal))
 
         desired_gain = self._settings.gain() * correction
         # Allocate to exposure first at base ISO.

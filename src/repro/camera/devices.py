@@ -47,8 +47,13 @@ class DeviceProfile:
         seed=None,
         auto_exposure: Optional[AutoExposure] = None,
         enable_bayer: bool = True,
+        capture_path: Optional[str] = None,
     ) -> RollingShutterCamera:
-        """Instantiate the camera simulator for this device."""
+        """Instantiate the camera simulator for this device.
+
+        ``capture_path`` selects the recording engine (``"batched"`` or the
+        per-frame ``"reference"`` oracle); ``None`` uses the module default.
+        """
         return RollingShutterCamera(
             timing=self.timing,
             response=self.response,
@@ -58,6 +63,7 @@ class DeviceProfile:
             simulated_columns=simulated_columns,
             enable_bayer=enable_bayer,
             seed=seed,
+            capture_path=capture_path,
         )
 
 

@@ -29,18 +29,39 @@ from typing import List, Optional
 import numpy as np
 
 from repro.camera.auto_exposure import AutoExposure, ExposureSettings
-from repro.camera.bayer import mosaic_roundtrip
+from repro.camera.bayer import mosaic_roundtrip_nd
+from repro.camera.capture import (
+    PIXEL_DTYPE,
+    AWB_ROW_LUMINANCE_FLOOR,
+    RecordingPlan,
+    apply_sensor_noise,
+    develop_frame,
+    develop_frames,
+    draw_prnu_gain,
+    encode_srgb_bytes,
+    plan_recording,
+)
 from repro.camera.color_filter import ColorResponse
 from repro.camera.frame import CapturedFrame
-from repro.camera.noise import SensorNoise, quantize_8bit
+from repro.camera.noise import SensorNoise
 from repro.camera.optics import Optics, cached_vignette_map
-from repro.color.srgb import linear_to_srgb, xyz_to_linear_rgb
+from repro.color.srgb import xyz_to_linear_rgb
 from repro.exceptions import SensorTimingError
 from repro.obs.schema import M_FRAMES_RECORDED, SPAN_CAPTURE
 from repro.obs.trace import NULL_TRACER
 from repro.phy.waveform import OpticalWaveform
 from repro.util.rng import make_rng
 from repro.util.validation import require, require_positive
+
+#: Default engine for :meth:`RollingShutterCamera.record`.  ``"batched"``
+#: develops the whole recording in chunked numpy passes; ``"reference"``
+#: develops one frame at a time through the same kernels.  The two are
+#: byte-identical (tests/camera/test_capture_equivalence.py); the reference
+#: path exists as the equivalence oracle and a debugging aid.
+DEFAULT_CAPTURE_PATH = "batched"
+
+#: Valid values for ``capture_path``.
+CAPTURE_PATHS = ("batched", "reference")
 
 
 @dataclass(frozen=True)
@@ -147,6 +168,7 @@ class RollingShutterCamera:
         enable_awb: bool = True,
         awb_adapt_rate: float = 0.12,
         seed=None,
+        capture_path: Optional[str] = None,
     ) -> None:
         require(
             0 < simulated_columns <= timing.cols,
@@ -154,6 +176,12 @@ class RollingShutterCamera:
             f"got {simulated_columns}",
         )
         require_positive(radiometric_gain, "radiometric_gain")
+        path = capture_path if capture_path is not None else DEFAULT_CAPTURE_PATH
+        require(
+            path in CAPTURE_PATHS,
+            f"capture_path must be one of {CAPTURE_PATHS}, got {path!r}",
+        )
+        self.capture_path = path
         self.timing = timing
         self.response = response
         self.noise = noise if noise is not None else SensorNoise()
@@ -184,6 +212,18 @@ class RollingShutterCamera:
         self._response_matrix_t = self.response.effective_matrix.T
         self._scene_gain = self.optics.distance_gain()
         self._scene_ambient = self.optics.ambient_xyz()
+        # float32 image-pipeline constants (see camera.capture): the
+        # vignette strip cast once, its per-row mean (the scanline metering
+        # basis), the squared read noise, and the lazily drawn PRNU fixed
+        # pattern — a property of the silicon, drawn once per camera.
+        self._vignette_f32 = np.ascontiguousarray(
+            self._vignette_cache, dtype=PIXEL_DTYPE
+        )
+        self._vignette_f32.flags.writeable = False
+        self._vignette_row_mean = self._vignette_cache.mean(axis=1)
+        self._vignette_row_mean.flags.writeable = False
+        self._read_noise_sq = PIXEL_DTYPE(self.noise.read_noise_electrons**2)
+        self._prnu_gain: Optional[np.ndarray] = None
 
     # -- capture ---------------------------------------------------------
 
@@ -214,30 +254,56 @@ class RollingShutterCamera:
         scene_xyz = scene_xyz * self._scene_gain + self._scene_ambient
         camera_linear = xyz_to_linear_rgb(scene_xyz) @ self._response_matrix_t
 
-        # 3. Radiometric scaling to full-well units and 2-D broadcast.
+        # 3. Radiometric scaling to full-well units, float32 cast, broadcast
+        # to 2-D under the vignette strip (the image pipeline computes in
+        # float32 — see camera.capture).
         gain = (
             self.radiometric_gain
             * applied.exposure_s
             * (applied.iso / self.noise.reference_iso)
         )
-        signal_rows = np.clip(camera_linear * gain, 0.0, None)
-        cols = self.simulated_columns
-        signal = np.repeat(signal_rows[:, np.newaxis, :], cols, axis=1)
-        signal = signal * self._vignette_cache[..., np.newaxis]
+        signal_rows = np.clip(camera_linear * gain, 0.0, None).astype(PIXEL_DTYPE)
+        signal = signal_rows[:, np.newaxis, :] * self._vignette_f32[..., np.newaxis]
 
-        # 4. CFA sampling and sensor noise.
+        # 4. CFA sampling and sensor noise, drawn in the canonical order
+        # (PRNU fixed pattern once per camera, then shot, then row gains).
         if self.enable_bayer:
-            signal = mosaic_roundtrip(signal)
-        signal = self.noise.apply(signal, applied.iso, self.rng)
-        signal = self.noise.apply_row_noise(signal, self.rng)
+            signal = mosaic_roundtrip_nd(signal)
+        if self.noise.prnu > 0 and self._prnu_gain is None:
+            self._prnu_gain = draw_prnu_gain(
+                self.noise.prnu, rows, self.simulated_columns, self.rng
+            )
+        shot = self.rng.standard_normal(signal.shape, dtype=PIXEL_DTYPE)
+        iso_gain = applied.iso / self.noise.reference_iso
+        electrons = signal * PIXEL_DTYPE(
+            self.noise.full_well_electrons / iso_gain
+        )
+        signal = np.clip(
+            apply_sensor_noise(
+                electrons,
+                PIXEL_DTYPE(iso_gain / self.noise.full_well_electrons),
+                self._read_noise_sq,
+                shot,
+                self._prnu_gain,
+            ),
+            0.0,
+            1.0,
+        )
+        if self.noise.row_noise > 0:
+            row_gain = (
+                1.0 + self.rng.normal(0.0, self.noise.row_noise, (rows, 1, 3))
+            ).astype(PIXEL_DTYPE)
+            signal = np.clip(signal * row_gain, 0.0, 1.0)
 
         # 5. Automatic white balance (gray-world over bright content).
         if self.enable_awb:
             self._update_awb(signal)
-            signal = np.clip(signal * self._awb_gains, 0.0, 1.0)
+            signal = np.clip(
+                signal * self._awb_gains.astype(PIXEL_DTYPE), 0.0, 1.0
+            )
 
         # 6. Gamma encode and quantize.
-        pixels = quantize_8bit(linear_to_srgb(signal))
+        pixels = encode_srgb_bytes(signal)
 
         frame = CapturedFrame(
             index=self._frame_index,
@@ -274,6 +340,14 @@ class RollingShutterCamera:
         ``tracer``/``metrics`` (see :mod:`repro.obs`) emit one ``capture``
         span per frame and count recorded frames; the no-op defaults keep
         the loop on the fast path.
+
+        Recording runs the vectorized capture engine (:mod:`repro.camera.
+        capture`): a sequential prologue threads jitter drift, AE, and AWB
+        through scanline statistics in the canonical RNG draw order, then
+        the image pipeline develops all frames in batched numpy passes
+        (``capture_path="batched"``, the default) or one frame at a time
+        through the same kernels (``"reference"``) — byte-identical by
+        construction and pinned by the equivalence tests.
         """
         require_positive(duration, "duration")
         if frame_jitter_s < 0:
@@ -282,17 +356,35 @@ class RollingShutterCamera:
             )
         tracer = tracer if tracer is not None else NULL_TRACER
         frames: List[CapturedFrame] = []
-        frame_count = int(duration * self.timing.frame_rate)
-        drift = 0.0
-        for i in range(frame_count):
-            if frame_jitter_s > 0:
-                drift += float(self.rng.normal(0.0, frame_jitter_s))
-            t0 = start_time + i * self.timing.frame_period + drift
-            with tracer.span(SPAN_CAPTURE, frame=i):
-                frames.append(self.capture_frame(waveform, t0))
+        rec = plan_recording(self, waveform, duration, start_time, frame_jitter_s)
+        if rec is not None:
+            if self.capture_path == "reference":
+                for i in range(rec.frame_count):
+                    with tracer.span(SPAN_CAPTURE, frame=i):
+                        frames.append(
+                            self._assemble_frame(rec, i, develop_frame(self, rec, i))
+                        )
+            else:
+                pixels = develop_frames(self, rec)
+                for i in range(rec.frame_count):
+                    with tracer.span(SPAN_CAPTURE, frame=i):
+                        frames.append(self._assemble_frame(rec, i, pixels[i]))
         if metrics is not None:
             metrics.counter(M_FRAMES_RECORDED).inc(len(frames))
         return frames
+
+    def _assemble_frame(
+        self, rec: RecordingPlan, index: int, pixels: np.ndarray
+    ) -> CapturedFrame:
+        frame = CapturedFrame(
+            index=self._frame_index,
+            pixels=pixels,
+            start_time=float(rec.start_times[index]),
+            row_period=self.timing.row_period,
+            exposure=rec.settings[index],
+        )
+        self._frame_index += 1
+        return frame
 
     # -- internals ---------------------------------------------------------
 
@@ -322,6 +414,26 @@ class RollingShutterCamera:
             + self.awb_adapt_rate * desired
         )
 
+    def _update_awb_rows(self, row_rgb: np.ndarray) -> None:
+        """Scanline-statistics AWB metering (the recording prologue's path).
+
+        Same gray-world EWMA as :meth:`_update_awb`, metered on per-row mean
+        RGB under the vignette row means — the decimated raw statistics a
+        real ISP's 3A engine runs on — so recording never has to develop a
+        frame before the next frame's control state is known.
+        """
+        luminance = row_rgb.mean(axis=-1)
+        bright = row_rgb[luminance >= AWB_ROW_LUMINANCE_FLOOR]
+        if bright.size == 0:
+            return
+        channel_means = np.maximum(bright.mean(axis=0), 1e-4)
+        target = channel_means.mean()
+        desired = np.clip(target / channel_means, 0.25, 4.0)
+        self._awb_gains = (
+            (1 - self.awb_adapt_rate) * self._awb_gains
+            + self.awb_adapt_rate * desired
+        )
+
     def _compute_vignette_strip(self, rows: int, cols: int) -> np.ndarray:
         """Vignetting over the simulated center strip of the full sensor.
 
@@ -335,7 +447,16 @@ class RollingShutterCamera:
         return full[:, left : left + cols]
 
     def reset(self, seed=None) -> None:
-        """Restart frame numbering and RNG (fresh recording session)."""
+        """Restart frame numbering and RNG (fresh recording session).
+
+        Reseeding also discards the PRNU fixed pattern (the pattern is the
+        first thing a fresh RNG draws) and the adapted AWB gains, so a
+        reseeded camera reproduces a same-seeded new camera exactly.  The
+        AE controller is caller-owned and keeps its state; lock it if the
+        session must be bit-reproducible end to end.
+        """
         self._frame_index = 0
         if seed is not None:
             self.rng = make_rng(seed)
+            self._prnu_gain = None
+            self._awb_gains = np.ones(3)

@@ -275,7 +275,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     registry = MetricsRegistry() if args.metrics else None
-    report = run_bench(workers=args.workers, quick=args.quick, metrics=registry)
+    profile_path = f"{args.output}.profile.txt" if args.profile else None
+    try:
+        report = run_bench(
+            workers=args.workers,
+            quick=args.quick,
+            metrics=registry,
+            cells=args.cells,
+            profile_path=profile_path,
+        )
+    except BenchError as exc:
+        print(f"colorbars bench: error: {exc}", file=sys.stderr)
+        return 2
+    if profile_path:
+        print(f"wrote serial-leg profile to {profile_path}")
     for line in format_breakdown(report):
         print(line)
     if registry is not None:
@@ -592,6 +605,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--metrics", default=None, metavar="PATH",
         help="dump pipeline metrics across both legs ('-' prints lines)",
+    )
+    bench_p.add_argument(
+        "--cells", type=int, default=None, metavar="N",
+        help="run N cells by cycling the pinned grid (default: the full grid)",
+    )
+    bench_p.add_argument(
+        "--profile", action="store_true",
+        help="profile the serial leg with cProfile; writes <output>.profile.txt",
     )
     bench_p.set_defaults(func=cmd_bench)
 

@@ -30,6 +30,19 @@ def srgb_to_linear(srgb: np.ndarray) -> np.ndarray:
     return np.where(low, srgb / 12.92, ((srgb + 0.055) / 1.055) ** 2.4)
 
 
+def _byte_to_linear_table() -> np.ndarray:
+    table = srgb_to_linear(np.arange(256) / 255.0)
+    table.flags.writeable = False
+    return table
+
+
+#: ``SRGB_BYTE_TO_LINEAR[byte]`` == ``srgb_to_linear(byte / 255.0)`` exactly:
+#: an 8-bit sRGB image has only 256 distinct channel values, so the receive
+#: path decodes gamma by table lookup instead of evaluating the power law
+#: per pixel — bitwise-identical by construction.
+SRGB_BYTE_TO_LINEAR = _byte_to_linear_table()
+
+
 def linear_to_srgb(linear: np.ndarray) -> np.ndarray:
     """Encode gamma: linear-light RGB to sRGB in [0, 1].
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.csk.demodulator import DecisionKind
 from repro.phy.symbols import LogicalSymbol, SymbolKind
 from repro.phy.waveform import OpticalWaveform
@@ -53,13 +55,15 @@ def align_ground_truth(
     exposure midpoint indexes into it.  Bands whose midpoint falls outside a
     non-cyclic waveform are skipped.
     """
-    matches: List[GroundTruthMatch] = []
-    for band in bands:
-        index = int(waveform.symbol_index_at(band.mid_time))
-        if index < 0:
-            continue
-        matches.append(GroundTruthMatch(band=band, truth=symbols[index]))
-    return matches
+    if not bands:
+        return []
+    mid_times = np.array([band.mid_time for band in bands])
+    indices = waveform.symbol_index_at(mid_times)
+    return [
+        GroundTruthMatch(band=band, truth=symbols[index])
+        for band, index in zip(bands, indices.tolist())
+        if index >= 0
+    ]
 
 
 def symbol_error_rate(matches: Sequence[GroundTruthMatch]) -> float:

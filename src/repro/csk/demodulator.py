@@ -93,46 +93,49 @@ class CskDemodulator:
         return self.decide_stream(np.asarray(lab, dtype=float)[np.newaxis, :])[0]
 
     def decide_stream(self, lab: np.ndarray) -> List[SymbolDecision]:
-        """Classify ``(N, 3)`` Lab band measurements in order."""
+        """Classify ``(N, 3)`` Lab band measurements in order.
+
+        Fully vectorized: dark/OFF rows are settled by the lightness test
+        alone — no calibration matching or white-distance work is ever done
+        for them — and an all-dark stream (gap-straddling frames, occlusion
+        faults) short-circuits before touching the reference table at all.
+        The remaining lit rows get one batched nearest-reference match and
+        one white-distance pass; decisions are materialized at the end.
+        """
         lab = np.asarray(lab, dtype=float)
         if lab.ndim != 2 or lab.shape[1] != 3:
             raise DemodulationError(
                 f"expected (N, 3) Lab array, got shape {lab.shape}"
             )
-        lightness = lab[:, 0]
-        chroma = lab[:, 1:]
+        dark = lab[:, 0] < self.off_lightness
+        off_decision = SymbolDecision(DecisionKind.OFF, None, 0.0, True)
+        decisions: List[SymbolDecision] = [off_decision] * lab.shape[0]
+        lit = np.flatnonzero(~dark)
+        if lit.size == 0:
+            return decisions
 
-        decisions: List[SymbolDecision] = []
-        dark = lightness < self.off_lightness
-
-        # Distances to data references and to the white reference.
+        # Distances to data references and to the white reference, lit rows
+        # only.
+        chroma = lab[lit, 1:]
         indices, data_dist = self.calibration.match(chroma)
         white_ref = self.calibration.white_reference
         white_dist = np.sqrt(np.sum((chroma - white_ref) ** 2, axis=-1))
+        is_white = white_dist < data_dist
+        distance = np.where(is_white, white_dist, data_dist)
+        confident = distance <= self.acceptance_delta_e
 
-        for row in range(lab.shape[0]):
-            if dark[row]:
-                decisions.append(
-                    SymbolDecision(DecisionKind.OFF, None, 0.0, True)
-                )
-                continue
-            if white_dist[row] < data_dist[row]:
-                decisions.append(
-                    SymbolDecision(
-                        DecisionKind.WHITE,
-                        None,
-                        float(white_dist[row]),
-                        bool(white_dist[row] <= self.acceptance_delta_e),
-                    )
-                )
-                continue
-            decisions.append(
-                SymbolDecision(
-                    DecisionKind.DATA,
-                    int(indices[row]),
-                    float(data_dist[row]),
-                    bool(data_dist[row] <= self.acceptance_delta_e),
-                )
+        for row, white, dist, index, sure in zip(
+            lit.tolist(),
+            is_white.tolist(),
+            distance.tolist(),
+            indices.tolist(),
+            confident.tolist(),
+        ):
+            decisions[row] = SymbolDecision(
+                DecisionKind.WHITE if white else DecisionKind.DATA,
+                None if white else int(index),
+                float(dist),
+                bool(sure),
             )
         return decisions
 

@@ -18,9 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import ReedSolomonError, UncorrectableBlockError
 from repro.fec.gf256 import GF256
 from repro.fec.polynomial import GFPolynomial
+
+#: Log/antilog tables as numpy arrays for the vectorized syndrome pass.
+_EXP_TABLE = np.array([GF256.exp(p) for p in range(GF256.order)], dtype=np.uint8)
+_EXP_TABLE.flags.writeable = False
+_LOG_TABLE = np.array([0] + [GF256.log(v) for v in range(1, GF256.size)], dtype=np.int64)
+_LOG_TABLE.flags.writeable = False
 
 
 @dataclass(frozen=True)
@@ -236,11 +244,24 @@ class ReedSolomonCodec:
     # -- decoder internals ---------------------------------------------------
 
     def _syndromes(self, codeword: List[int]) -> List[int]:
-        poly = GFPolynomial(codeword)
-        return [
-            poly.evaluate(GF256.exp(self.FIRST_ROOT + i))
-            for i in range(self.num_parity)
-        ]
+        # S_i = C(alpha^(FIRST_ROOT+i)).  Expanding Horner's rule, the term
+        # for coefficient c_j of degree d_j contributes
+        # exp(log c_j + d_j * (FIRST_ROOT + i)), and field addition is XOR —
+        # one (num_parity, nonzero-terms) table gather per codeword instead
+        # of num_parity Python Horner loops.
+        coeffs = np.asarray(codeword, dtype=np.int64)
+        degrees = np.arange(len(codeword) - 1, -1, -1, dtype=np.int64)
+        nonzero = coeffs != 0
+        if not nonzero.any():
+            return [0] * self.num_parity
+        logs = _LOG_TABLE[coeffs[nonzero]]
+        degrees = degrees[nonzero]
+        roots = np.arange(
+            self.FIRST_ROOT, self.FIRST_ROOT + self.num_parity, dtype=np.int64
+        )
+        exponents = (logs[np.newaxis, :] + degrees[np.newaxis, :] * roots[:, np.newaxis]) % GF256.order
+        terms = _EXP_TABLE[exponents]
+        return np.bitwise_xor.reduce(terms, axis=1).tolist()
 
     def _erasure_locator(self, erasures: Sequence[int]) -> GFPolynomial:
         # Positions are indexed from the start of the codeword; the location

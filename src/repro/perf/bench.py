@@ -32,7 +32,7 @@ from repro.camera.color_filter import perturbed_response
 from repro.camera.devices import DeviceProfile
 from repro.camera.noise import SensorNoise
 from repro.camera.optics import Optics
-from repro.camera.sensor import SensorTiming
+from repro.camera.sensor import DEFAULT_CAPTURE_PATH, SensorTiming
 from repro.core.config import SystemConfig
 from repro.exceptions import BenchError
 from repro.link.simulator import LinkResult, RunSpec
@@ -46,7 +46,13 @@ from repro.util.stopwatch import StageTimings
 #: survives reruns instead of being clobbered).
 #: v3 added ``speedup_meaningful`` — false on single-CPU machines, where
 #: the serial/parallel comparison measures pool overhead, not parallelism.
-BENCH_SCHEMA_VERSION = 3
+#: v4 added ``capture_path`` (which recording engine produced the numbers),
+#: made the parallel leg optional (``null`` wall/cells-per-sec/speedup on
+#: single-CPU hosts, where the comparison is meaningless), and switched the
+#: timed legs to run *warm*: one untimed grid cell runs first so the report
+#: tracks steady-state throughput instead of allocator/ufunc warm-up and
+#: cold RNG-plan draws.
+BENCH_SCHEMA_VERSION = 4
 
 #: Default output path (repo root by convention).
 BENCH_FILENAME = "BENCH_colorbars.json"
@@ -63,6 +69,7 @@ REQUIRED_KEYS = (
     "cpu_count",
     "quick",
     "cells",
+    "capture_path",
     "failures",
     "stages_s",
     "wall_clock_s",
@@ -71,6 +78,12 @@ REQUIRED_KEYS = (
     "speedup_meaningful",
     "history",
 )
+
+#: CI floor for ``cells_per_sec.serial``: a hard regression tripwire, set
+#: ~3x below the committed report's value to absorb runner-to-runner
+#: variance while still catching a return to the per-frame Python loops
+#: (which ran at ~1.8 cells/sec on the same grid).
+SERIAL_CELLS_PER_SEC_FLOOR = 3.0
 
 #: The pinned micro-sweep: small enough to finish in seconds, large enough
 #: that record/decode dominate as they do in the full artifact sweeps.
@@ -127,19 +140,37 @@ def micro_sweep_specs(quick: bool = False) -> List[RunSpec]:
 
 
 def run_bench(
-    workers: int = 4, quick: bool = False, metrics=None, clock=None
+    workers: int = 4,
+    quick: bool = False,
+    metrics=None,
+    clock=None,
+    cells: Optional[int] = None,
+    profile_path=None,
 ) -> Dict:
     """Execute the micro-sweep serially and at ``workers``, return the report.
 
     Both legs run through the resilient runtime (containment only — no
     watchdog, no retry), so a crashing cell degrades the report into a
-    nonzero ``failures`` count instead of killing the bench.
+    nonzero ``failures`` count instead of killing the bench.  One untimed
+    grid cell runs first: the timed legs then measure steady-state
+    throughput (ufuncs compiled, allocator warm, the deterministic RNG plan
+    cache primed) rather than process start-up costs.
+
+    ``cells`` overrides the grid size by cycling the pinned grid — larger
+    runs average out scheduler noise, smaller ones make quick profiling
+    turns.  ``profile_path`` (a path) profiles the serial leg with cProfile
+    and writes a cumulative-time listing there.
+
+    On a single-CPU host (or ``workers <= 1``) the parallel leg is skipped:
+    its wall clock, cells/sec, and the speedup are reported as ``null`` —
+    a serial/parallel comparison on one core measures pool overhead, not
+    parallelism.
 
     ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) collects
-    pipeline counters across *both* legs — every cell runs twice, so
-    counter totals cover 2x the grid.  Observation is measurement metadata
-    and does not enter the report's timings comparison beyond its own
-    (null-path) overhead.
+    pipeline counters across every timed leg — on multi-CPU hosts each cell
+    runs twice, so counter totals cover 2x the grid.  Observation is
+    measurement metadata and does not enter the report's timings comparison
+    beyond its own (null-path) overhead.
 
     ``clock`` stamps ``generated_unix`` (provenance metadata only) and
     defaults to :data:`repro.util.clock.wall_clock`; tests inject a
@@ -147,25 +178,46 @@ def run_bench(
     """
     clock = clock if clock is not None else wall_clock
     specs = micro_sweep_specs(quick=quick)
+    if cells is not None:
+        if cells <= 0:
+            raise BenchError(f"cells must be positive, got {cells}")
+        specs = [specs[i % len(specs)] for i in range(cells)]
     policy = RuntimePolicy()
+    cpu_count = _cpu_count()
+    run_parallel = workers > 1 and cpu_count > 1
 
+    # Warm-up: one untimed cell from the pinned grid.
+    run_specs_resilient(specs[:1], workers=1, policy=policy)
+
+    profiler = None
+    if profile_path is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     serial_start = time.perf_counter()
     serial = run_specs_resilient(specs, workers=1, policy=policy, metrics=metrics)
     serial_wall = time.perf_counter() - serial_start
+    if profiler is not None:
+        profiler.disable()
+        _write_profile(profiler, profile_path)
 
-    parallel_start = time.perf_counter()
-    parallel = run_specs_resilient(
-        specs, workers=workers, policy=policy, metrics=metrics
-    )
-    parallel_wall = time.perf_counter() - parallel_start
+    parallel_wall = None
+    parallel_failures = 0
+    if run_parallel:
+        parallel_start = time.perf_counter()
+        parallel = run_specs_resilient(
+            specs, workers=workers, policy=policy, metrics=metrics
+        )
+        parallel_wall = time.perf_counter() - parallel_start
+        parallel_failures = len(parallel.failures)
 
     stages = StageTimings()
     for result in serial.results:
         if result is not None:
             stages.merge(result.timings)
 
-    cells = len(specs)
-    cpu_count = _cpu_count()
+    cell_count = len(specs)
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "git_rev": _git_rev(),
@@ -173,26 +225,40 @@ def run_bench(
         "workers": workers,
         "cpu_count": cpu_count,
         "quick": quick,
-        "cells": cells,
-        "failures": len(serial.failures) + len(parallel.failures),
+        "cells": cell_count,
+        "capture_path": DEFAULT_CAPTURE_PATH,
+        "failures": len(serial.failures) + parallel_failures,
         "history": [],
         "stages_s": {
             stage: round(seconds, 4) for stage, seconds in stages.as_dict().items()
         },
         "wall_clock_s": {
             "serial": round(serial_wall, 4),
-            "parallel": round(parallel_wall, 4),
+            "parallel": round(parallel_wall, 4) if run_parallel else None,
         },
         "cells_per_sec": {
-            "serial": round(cells / serial_wall, 4),
-            "parallel": round(cells / parallel_wall, 4),
+            "serial": round(cell_count / serial_wall, 4),
+            "parallel": (
+                round(cell_count / parallel_wall, 4) if run_parallel else None
+            ),
         },
-        "speedup": round(serial_wall / parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 4) if run_parallel else None,
         # On one CPU the two legs contend for the same core: the ratio
-        # measures pool overhead, not parallelism, and must not be read as
-        # a regression against a multi-core runner's reports.
-        "speedup_meaningful": cpu_count > 1,
+        # measures pool overhead, not parallelism, so the leg is skipped
+        # outright and the comparison reported as null.
+        "speedup_meaningful": run_parallel,
     }
+
+
+def _write_profile(profiler, path) -> None:
+    """Dump a cProfile session as a cumulative-time listing at ``path``."""
+    import io
+    import pstats
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(60)
+    Path(path).write_text(stream.getvalue())
 
 
 def format_breakdown(report: Dict) -> List[str]:
@@ -209,16 +275,18 @@ def format_breakdown(report: Dict) -> List[str]:
     wall = report["wall_clock_s"]
     cps = report["cells_per_sec"]
     lines.append(
-        f"serial  : {wall['serial']:.3f} s ({cps['serial']:.2f} cells/s)"
+        f"serial  : {wall['serial']:.3f} s ({cps['serial']:.2f} cells/s) "
+        f"[{report.get('capture_path', 'batched')} capture]"
     )
-    lines.append(
-        f"parallel: {wall['parallel']:.3f} s ({cps['parallel']:.2f} cells/s) "
-        f"at {report['workers']} workers -> speedup {report['speedup']:.2f}x"
-    )
-    if not report.get("speedup_meaningful", True):
+    if wall["parallel"] is None:
         lines.append(
-            "warning : single CPU — speedup measures pool overhead, "
-            "not parallelism"
+            "parallel: skipped (single CPU — the comparison would measure "
+            "pool overhead, not parallelism)"
+        )
+    else:
+        lines.append(
+            f"parallel: {wall['parallel']:.3f} s ({cps['parallel']:.2f} cells/s) "
+            f"at {report['workers']} workers -> speedup {report['speedup']:.2f}x"
         )
     if report.get("failures"):
         lines.append(
@@ -278,16 +346,35 @@ def validate_report(report: Dict) -> None:
             f"bench schema version {report['schema_version']!r} != "
             f"{BENCH_SCHEMA_VERSION}"
         )
+    parallel_skipped = report["wall_clock_s"].get("parallel") is None
     for section in ("wall_clock_s", "cells_per_sec"):
         values = report[section]
         if not isinstance(values, dict) or set(values) != {"serial", "parallel"}:
             raise BenchError(f"{section} must map exactly serial/parallel")
         for mode, value in values.items():
+            if mode == "parallel" and parallel_skipped:
+                if value is not None:
+                    raise BenchError(
+                        f"{section}.parallel must be null when the parallel "
+                        f"leg is skipped, got {value!r}"
+                    )
+                continue
             if not isinstance(value, (int, float)) or value <= 0:
                 raise BenchError(f"{section}.{mode} must be positive, got {value!r}")
     if not isinstance(report["stages_s"], dict) or not report["stages_s"]:
         raise BenchError("stages_s must be a non-empty object")
-    if not isinstance(report["speedup"], (int, float)) or report["speedup"] <= 0:
+    if report.get("capture_path") not in ("batched", "reference"):
+        raise BenchError(
+            f"capture_path must be 'batched' or 'reference', "
+            f"got {report.get('capture_path')!r}"
+        )
+    if parallel_skipped:
+        if report["speedup"] is not None:
+            raise BenchError(
+                "speedup must be null when the parallel leg is skipped, "
+                f"got {report['speedup']!r}"
+            )
+    elif not isinstance(report["speedup"], (int, float)) or report["speedup"] <= 0:
         raise BenchError(f"speedup must be positive, got {report['speedup']!r}")
     if not isinstance(report["speedup_meaningful"], bool):
         raise BenchError(

@@ -7,7 +7,11 @@ across frames — accounting for the symbols lost in each inter-frame gap —
 and run Reed-Solomon decoding (step 3).
 """
 
-from repro.rx.preprocess import frame_to_scanline_lab, scanline_chroma
+from repro.rx.preprocess import (
+    frame_to_scanline_lab,
+    frames_to_scanline_lab,
+    scanline_chroma,
+)
 from repro.rx.segmentation import Band, BandSegmenter
 from repro.rx.detector import ReceivedBand, SymbolDetector
 from repro.rx.assembler import PacketAssembler, ReceivedPacket, StreamItem
@@ -15,6 +19,7 @@ from repro.rx.receiver import ColorBarsReceiver, ReceiverReport
 
 __all__ = [
     "frame_to_scanline_lab",
+    "frames_to_scanline_lab",
     "scanline_chroma",
     "Band",
     "BandSegmenter",

@@ -77,31 +77,53 @@ class SymbolDetector:
         # assembler ignores data payloads until calibration anyway.
         return SymbolDecision(DecisionKind.DATA, None, chroma_mag, False)
 
+    def _bootstrap_stream(self, labs: np.ndarray) -> List[SymbolDecision]:
+        """Vectorized :meth:`_bootstrap_decision` over ``(N, 3)`` Lab rows."""
+        lightness = labs[:, 0]
+        chroma_mag = np.hypot(labs[:, 1], labs[:, 2])
+        off = lightness < self.demodulator.off_lightness
+        white = ~off & (chroma_mag < self.bootstrap_white_chroma)
+        return [
+            SymbolDecision(DecisionKind.OFF, None, 0.0, True)
+            if is_off
+            else SymbolDecision(
+                DecisionKind.WHITE if is_white else DecisionKind.DATA,
+                None,
+                mag,
+                bool(is_white),
+            )
+            for is_off, is_white, mag in zip(
+                off.tolist(), white.tolist(), chroma_mag.tolist()
+            )
+        ]
+
     def detect(
         self,
         frame: CapturedFrame,
         bands: List[Band],
     ) -> List[ReceivedBand]:
         """Attach timing and symbol decisions to a frame's bands."""
-        received: List[ReceivedBand] = []
-        if self.calibrated and bands:
-            labs = np.stack([band.lab for band in bands])
+        if not bands:
+            return []
+        labs = np.stack([band.lab for band in bands])
+        if self.calibrated:
             decisions = self.demodulator.decide_stream(labs)
         else:
-            decisions = [self._bootstrap_decision(band.lab) for band in bands]
-        for band, decision in zip(bands, decisions):
-            mid_row = band.center_row
-            mid_time = (
-                frame.start_time
-                + mid_row * frame.row_period
-                + frame.exposure.exposure_s / 2.0
+            decisions = self._bootstrap_stream(labs)
+        centers = np.array([band.center_row for band in bands])
+        mid_times = (
+            frame.start_time
+            + centers * frame.row_period
+            + frame.exposure.exposure_s / 2.0
+        )
+        return [
+            ReceivedBand(
+                frame_index=frame.index,
+                band=band,
+                mid_time=mid_time,
+                decision=decision,
             )
-            received.append(
-                ReceivedBand(
-                    frame_index=frame.index,
-                    band=band,
-                    mid_time=mid_time,
-                    decision=decision,
-                )
+            for band, mid_time, decision in zip(
+                bands, mid_times.tolist(), decisions
             )
-        return received
+        ]

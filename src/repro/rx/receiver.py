@@ -43,7 +43,7 @@ from repro.obs.trace import NULL_TRACER
 from repro.packet.packetizer import Packetizer
 from repro.rx.assembler import CalibrationEvent, PacketAssembler, ReceivedPacket
 from repro.rx.detector import ReceivedBand, SymbolDetector
-from repro.rx.preprocess import frame_to_scanline_lab
+from repro.rx.preprocess import frame_to_scanline_lab, frames_to_scanline_lab
 from repro.rx.segmentation import BandSegmenter
 
 
@@ -210,11 +210,36 @@ class ColorBarsReceiver:
         if not frames:
             return report
 
+        scanlines = self._preprocess_recording(frames)
         segmented = []
-        for frame in frames:
+        for frame, lab in zip(frames, scanlines):
             with self.tracer.span(SPAN_SEGMENT, frame=frame.index):
-                segmented.append(self._segment_frame(frame))
+                segmented.append(self._segment_frame(frame, scanlines=lab))
         return self._process_segmented(segmented, report)
+
+    def _preprocess_recording(
+        self, frames: Sequence[CapturedFrame]
+    ) -> List[Optional[np.ndarray]]:
+        """Batched sRGB -> scanline-Lab over same-shape groups of frames.
+
+        Whole recordings share one pixel shape, so preprocessing runs as a
+        single stacked pass (bitwise identical to per-frame conversion).
+        Frames in a group whose batched conversion raises — or mixed-shape
+        inputs — fall back to ``None`` entries, which ``_segment_frame``
+        preprocesses individually under its per-frame containment.
+        """
+        results: List[Optional[np.ndarray]] = [None] * len(frames)
+        groups: dict = {}
+        for position, frame in enumerate(frames):
+            groups.setdefault(frame.pixels.shape, []).append(position)
+        for positions in groups.values():
+            try:
+                labs = frames_to_scanline_lab([frames[p] for p in positions])
+            except ColorBarsError:
+                continue
+            for position, lab in zip(positions, labs):
+                results[position] = lab
+        return results
 
     def _process_segmented(
         self,
@@ -311,17 +336,26 @@ class ColorBarsReceiver:
         """
         return self._classify_frame(self._segment_frame(frame), failures)
 
-    def _segment_frame(self, frame: CapturedFrame) -> "_SegmentedFrame":
+    def _segment_frame(
+        self,
+        frame: CapturedFrame,
+        scanlines: Optional[np.ndarray] = None,
+    ) -> "_SegmentedFrame":
         """The calibration-independent front half: preprocess -> segment.
 
         Deterministic in the frame alone, so its result is computed once and
         shared by the bootstrap and decode passes.  A contained failure is
         carried in the returned record; it is reported when (and only when)
         a pass that records failures consumes it.
+
+        ``scanlines`` accepts the frame's precomputed scanline Lab from the
+        batched recording pass; ``None`` (the streaming receiver's per-frame
+        path, or a batched-pass fallback) converts here.
         """
         stage = "preprocess"
         try:
-            scanlines = frame_to_scanline_lab(frame)
+            if scanlines is None:
+                scanlines = frame_to_scanline_lab(frame)
             # Scanlines whose exposure window straddles a symbol boundary
             # carry mixed colors; the segmenter excludes that many rows per
             # band.

@@ -163,19 +163,28 @@ class BandSegmenter:
         return np.hypot(diff[:, 1], diff[:, 2]) + 0.4 * np.abs(diff[:, 0])
 
     def _grid_phase(self, g: np.ndarray) -> float:
-        """Phase of the band grid: argmax of the comb energy of ``g``."""
+        """Phase of the band grid: argmax of the comb energy of ``g``.
+
+        All candidate phases are evaluated in one pass: a ``(phases, teeth)``
+        comb-position matrix, one gather from ``g``, and a masked row mean.
+        ``g`` is non-negative, so empty combs (energy 0) can never beat a
+        real transition comb; ties resolve to the first (lowest) phase, as
+        the scalar loop this replaces did.
+        """
         pitch = self.rows_per_symbol
-        best_phase = 0.0
-        best_energy = -1.0
-        indices = np.arange(len(g))
-        for phase in np.arange(0.0, pitch, self.PHASE_STEP_ROWS):
-            positions = np.arange(phase, len(g) - 1, pitch)
-            samples = g[np.round(positions).astype(int)]
-            energy = float(samples.mean()) if samples.size else 0.0
-            if energy > best_energy:
-                best_energy = energy
-                best_phase = float(phase)
-        return best_phase
+        phases = np.arange(0.0, pitch, self.PHASE_STEP_ROWS)
+        limit = len(g) - 1
+        counts = np.maximum(np.ceil((limit - phases) / pitch), 0).astype(int)
+        teeth = int(counts.max()) if counts.size else 0
+        if teeth == 0:
+            return 0.0
+        tooth_index = np.arange(teeth)
+        positions = phases[:, np.newaxis] + pitch * tooth_index[np.newaxis, :]
+        valid = tooth_index[np.newaxis, :] < counts[:, np.newaxis]
+        samples = g[np.minimum(np.round(positions).astype(int), len(g) - 1)]
+        energies = np.where(valid, samples, 0.0).sum(axis=1)
+        energies /= np.maximum(counts, 1)
+        return float(phases[int(np.argmax(energies))])
 
     # -- band extraction -----------------------------------------------------
 
@@ -226,21 +235,69 @@ class BandSegmenter:
         first_start = phase + lag / 2.0 + smear_rows / 2.0
         first_start -= pitch * np.ceil(first_start / pitch)
 
-        bands: List[Band] = []
-        start = first_start
-        while start < rows:
-            plateau_lo = start
-            plateau_hi = start + plateau
-            cell_lo = int(round(start))
-            cell_hi = int(round(start + pitch))
-            lo = max(int(np.floor(plateau_lo)), 0)
-            hi = min(int(np.ceil(plateau_hi)), rows)
-            start += pitch
-            if hi - lo < max(3, 0.4 * plateau):
-                continue  # partial symbol at a frame edge
-            band = self._make_band(scanline_lab, lo, hi, cell_lo, cell_hi)
-            bands.append(band)
-        return bands
+        cell_count = int(np.ceil((rows - first_start) / pitch))
+        starts = first_start + pitch * np.arange(max(cell_count, 0))
+        if starts.size == 0:
+            return []
+        cell_lo = np.round(starts).astype(int)
+        cell_hi = np.round(starts + pitch).astype(int)
+        lo = np.maximum(np.floor(starts).astype(int), 0)
+        hi = np.minimum(np.ceil(starts + plateau).astype(int), rows)
+        # Partial symbols at the frame edges drop out here.
+        keep = (hi - lo) >= max(3, 0.4 * plateau)
+        cell_lo, cell_hi, lo, hi = (
+            cell_lo[keep], cell_hi[keep], lo[keep], hi[keep]
+        )
+        if self.coring == "min_variance":
+            return [
+                self._make_band(scanline_lab, *bounds)
+                for bounds in zip(
+                    lo.tolist(), hi.tolist(), cell_lo.tolist(), cell_hi.tolist()
+                )
+            ]
+        return self._central_bands(scanline_lab, lo, hi, cell_lo, cell_hi)
+
+    def _central_bands(
+        self,
+        scanline_lab: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        cell_lo: np.ndarray,
+        cell_hi: np.ndarray,
+    ) -> List[Band]:
+        """All central-coring bands of a frame in one batched pass.
+
+        Same trim arithmetic as :meth:`_make_band`'s central branch, with
+        the per-band core means computed from one cumulative sum over the
+        scanlines instead of one ``mean`` reduction per band.
+        """
+        rows = scanline_lab.shape[0]
+        trim = ((hi - lo) * self.edge_trim_fraction).astype(int)
+        core_start = lo + trim
+        core_stop = hi - trim
+        narrow = (core_stop - core_start) < 3
+        core_start = np.where(narrow, lo, core_start)
+        core_stop = np.where(
+            narrow, np.minimum(np.maximum(hi, core_start + 3), rows), core_stop
+        )
+        sums = np.concatenate(
+            [np.zeros((1, 3)), np.cumsum(scanline_lab, axis=0)]
+        )
+        labs = (sums[core_stop] - sums[core_start]) / (
+            (core_stop - core_start)[:, np.newaxis]
+        )
+        return [
+            Band(
+                row_start=max(int(c_lo), 0),
+                row_stop=min(int(c_hi), rows),
+                core_start=int(start),
+                core_stop=int(stop),
+                lab=labs[index],
+            )
+            for index, (c_lo, c_hi, start, stop) in enumerate(
+                zip(cell_lo, cell_hi, core_start, core_stop)
+            )
+        ]
 
     def _make_band(
         self,

@@ -99,3 +99,57 @@ class TestNominalCalibration:
     def test_nominal_references_distinct(self, constellation8, modulator8):
         table = nominal_calibration(constellation8, modulator8)
         assert table.separation_margin() > 2.0
+
+
+class TestDarkShortCircuit:
+    """Dark rows are settled by the lightness test alone: the calibration
+    table must never be consulted for them (satellite: decide_stream
+    short-circuits gap-straddling all-dark streams)."""
+
+    @staticmethod
+    def _counting_match(table, monkeypatch):
+        calls = []
+        original = table.match
+
+        def counted(chroma):
+            calls.append(np.asarray(chroma).shape)
+            return original(chroma)
+
+        monkeypatch.setattr(table, "match", counted)
+        return calls
+
+    def test_all_dark_stream_never_touches_calibration(
+        self, demodulator, monkeypatch
+    ):
+        calls = self._counting_match(demodulator.calibration, monkeypatch)
+        lab = np.array([[2.0, 50.0, -30.0], [5.0, -80.0, 10.0], [0.0, 0.0, 0.0]])
+        decisions = demodulator.decide_stream(lab)
+        assert calls == []
+        assert all(d.kind is DecisionKind.OFF for d in decisions)
+        assert all(d.confident for d in decisions)
+
+    def test_mixed_stream_matches_lit_rows_only(
+        self, demodulator, calibrated_table, monkeypatch
+    ):
+        _, chroma = calibrated_table
+        calls = self._counting_match(demodulator.calibration, monkeypatch)
+        lab = np.stack(
+            [
+                lab_row(2.0, chroma[0]),  # dark: below off_lightness
+                lab_row(60.0, chroma[1]),
+                lab_row(1.0, chroma[2]),  # dark
+                lab_row(60.0, chroma[3]),
+            ]
+        )
+        decisions = demodulator.decide_stream(lab)
+        assert calls == [(2, 2)]  # one batched match over the 2 lit rows
+        assert decisions[0].kind is DecisionKind.OFF
+        assert decisions[2].kind is DecisionKind.OFF
+        assert decisions[1].kind is DecisionKind.DATA
+        assert decisions[1].index == 1
+        assert decisions[3].index == 3
+
+    def test_empty_stream(self, demodulator, monkeypatch):
+        calls = self._counting_match(demodulator.calibration, monkeypatch)
+        assert demodulator.decide_stream(np.empty((0, 3))) == []
+        assert calls == []

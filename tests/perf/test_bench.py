@@ -9,6 +9,7 @@ from repro.perf.bench import (
     BENCH_SCHEMA_VERSION,
     MAX_HISTORY,
     REQUIRED_KEYS,
+    SERIAL_CELLS_PER_SEC_FLOOR,
     bench_device,
     format_breakdown,
     load_and_validate,
@@ -48,9 +49,41 @@ class TestRunBench:
         assert report["quick"] is True
         assert report["cells"] == 2
         assert report["schema_version"] == BENCH_SCHEMA_VERSION
+        assert report["capture_path"] == "batched"
         for stage in ("tx-plan", "record", "decode"):
             assert stage in report["stages_s"]
-        assert report["speedup"] > 0
+
+    def test_workers_one_skips_parallel_leg(self, report):
+        assert report["wall_clock_s"]["parallel"] is None
+        assert report["cells_per_sec"]["parallel"] is None
+        assert report["speedup"] is None
+        assert report["speedup_meaningful"] is False
+        assert report["wall_clock_s"]["serial"] > 0
+        assert report["cells_per_sec"]["serial"] > 0
+
+    def test_cells_override_cycles_the_grid(self):
+        report = run_bench(
+            workers=1, quick=True, clock=lambda: 0.0, cells=3
+        )
+        assert report["cells"] == 3
+        validate_report(report)
+
+    def test_nonpositive_cells_rejected(self):
+        with pytest.raises(BenchError, match="cells"):
+            run_bench(workers=1, quick=True, cells=0)
+
+    def test_profile_path_writes_listing(self, tmp_path):
+        profile = tmp_path / "bench.profile.txt"
+        run_bench(
+            workers=1, quick=True, clock=lambda: 0.0,
+            cells=1, profile_path=profile,
+        )
+        text = profile.read_text()
+        assert "cumulative" in text
+
+    def test_committed_floor_is_below_this_run(self, report):
+        # The CI tripwire must hold on the machine that grew it.
+        assert report["cells_per_sec"]["serial"] >= SERIAL_CELLS_PER_SEC_FLOOR
 
     def test_roundtrip_through_disk(self, report, tmp_path):
         path = tmp_path / "BENCH_colorbars.json"
@@ -84,15 +117,19 @@ class TestRunBench:
     def test_injected_clock_stamps_generated_unix(self, report):
         assert report["generated_unix"] == 12345.0
 
-    def test_speedup_meaningful_tracks_cpu_count(self, report):
-        assert report["speedup_meaningful"] == (report["cpu_count"] > 1)
-
-    def test_single_cpu_warning_in_breakdown(self, report):
-        single = dict(report, cpu_count=1, speedup_meaningful=False)
-        text = "\n".join(format_breakdown(single))
-        assert "single CPU" in text
-        multi = dict(report, cpu_count=8, speedup_meaningful=True)
-        assert "single CPU" not in "\n".join(format_breakdown(multi))
+    def test_skipped_parallel_noted_in_breakdown(self, report):
+        text = "\n".join(format_breakdown(report))
+        assert "single CPU" in text or "skipped" in text
+        multi = dict(
+            report,
+            wall_clock_s={"serial": 2.0, "parallel": 1.0},
+            cells_per_sec={"serial": 1.0, "parallel": 2.0},
+            speedup=2.0,
+            speedup_meaningful=True,
+        )
+        multi_text = "\n".join(format_breakdown(multi))
+        assert "speedup 2.00x" in multi_text
+        assert "skipped" not in multi_text
 
 
 class TestValidateReport:
@@ -106,6 +143,7 @@ class TestValidateReport:
             "cpu_count": 1,
             "quick": True,
             "cells": 2,
+            "capture_path": "batched",
             "failures": 0,
             "stages_s": {"record": 1.0},
             "wall_clock_s": {"serial": 2.0, "parallel": 1.5},
@@ -117,6 +155,25 @@ class TestValidateReport:
 
     def test_valid_report_passes(self):
         validate_report(self._valid())
+
+    def test_skipped_parallel_nulls_pass(self):
+        report = self._valid()
+        report["wall_clock_s"]["parallel"] = None
+        report["cells_per_sec"]["parallel"] = None
+        report["speedup"] = None
+        validate_report(report)
+
+    def test_inconsistent_parallel_nulls_rejected(self):
+        report = self._valid()
+        report["wall_clock_s"]["parallel"] = None
+        with pytest.raises(BenchError, match="null"):
+            validate_report(report)
+
+    def test_unknown_capture_path_rejected(self):
+        report = self._valid()
+        report["capture_path"] = "magic"
+        with pytest.raises(BenchError, match="capture_path"):
+            validate_report(report)
 
     def test_negative_failures_rejected(self):
         report = self._valid()

@@ -51,3 +51,71 @@ class TestLongHorizon:
         times = offset + np.arange(5) * waveform.symbol_period + 1e-6
         indices = waveform.symbol_index_at(times)
         assert np.array_equal(indices, np.arange(5))
+
+
+class TestCyclicIntegrateWraparound:
+    """Property tests for the analytic whole-lap handling in integrate().
+
+    The cyclic integral is computed as ``(laps_stop - laps_start) * total +
+    cumulative(rem_stop) - cumulative(rem_start)`` — whole laps never
+    accumulate per-lap float error, so these invariants hold to tight
+    tolerances arbitrarily deep into the stream.
+    """
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_whole_laps_scale_exactly(self, laps):
+        levels = np.random.default_rng(11).random((13, 3))
+        wf = OpticalWaveform(levels, 1000.0, extend=EXTEND_CYCLE)
+        one_lap = wf.integrate(0.0, wf.duration)
+        many = wf.integrate(0.0, laps * wf.duration)
+        assert np.allclose(many, laps * one_lap, rtol=1e-12, atol=0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=500.0))
+    def test_one_cycle_window_invariant_to_start(self, phase):
+        levels = np.random.default_rng(13).random((7, 3))
+        wf = OpticalWaveform(levels, 2000.0, extend=EXTEND_CYCLE)
+        expected = wf.integrate(0.0, wf.duration)
+        shifted = wf.integrate(phase, phase + wf.duration)
+        assert np.allclose(shifted, expected, atol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=0.2),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_lap_translation_invariance(self, start, width, laps):
+        """integrate(s, s+w) == integrate(s + k*duration, s+w + k*duration)."""
+        levels = np.random.default_rng(17).random((9, 3))
+        wf = OpticalWaveform(levels, 1500.0, extend=EXTEND_CYCLE)
+        offset = laps * wf.duration
+        near = wf.integrate(start, start + width)
+        far = wf.integrate(start + offset, start + width + offset)
+        assert np.allclose(near, far, atol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=1e-4, max_value=0.1),
+        st.floats(min_value=1e-4, max_value=0.1),
+    )
+    def test_adjacent_windows_add(self, start, w1, w2):
+        """Integration is additive over a shared boundary, wraps included."""
+        levels = np.random.default_rng(19).random((11, 3))
+        wf = OpticalWaveform(levels, 1000.0, extend=EXTEND_CYCLE)
+        combined = wf.integrate(start, start + w1 + w2)
+        split = wf.integrate(start, start + w1) + wf.integrate(
+            start + w1, start + w1 + w2
+        )
+        assert np.allclose(combined, split, atol=1e-9)
+
+    def test_vectorized_windows_match_scalar(self):
+        levels = np.random.default_rng(23).random((37, 3))
+        wf = OpticalWaveform(levels, 1000.0, extend=EXTEND_CYCLE)
+        starts = np.array([0.0, 0.01, 3.7, 120.003])
+        stops = starts + np.array([0.005, 0.5, 2.0, 0.0123])
+        batched = wf.integrate(starts, stops)
+        for i, (lo, hi) in enumerate(zip(starts, stops)):
+            assert np.array_equal(batched[i], wf.integrate(lo, hi))

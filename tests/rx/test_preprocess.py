@@ -9,6 +9,7 @@ from repro.exceptions import DemodulationError
 from repro.rx.preprocess import (
     column_color_variance,
     frame_to_scanline_lab,
+    frames_to_scanline_lab,
     scanline_chroma,
 )
 
@@ -86,3 +87,42 @@ class TestColumnColorVariance:
     def test_empty_slice(self):
         with pytest.raises(DemodulationError):
             column_color_variance(np.zeros((4, 4, 3), dtype=np.uint8), slice(0, 0))
+
+
+class TestBatchedScanlines:
+    """frames_to_scanline_lab is the vectorized receive-side entry point:
+    one stacked pass must be bitwise identical to the per-frame loop."""
+
+    @staticmethod
+    def _frames(count=5, rows=40, cols=12, seed=3):
+        rng = np.random.default_rng(seed)
+        return [
+            make_frame(rng.integers(0, 256, size=(rows, cols, 3)))
+            for _ in range(count)
+        ]
+
+    def test_bitwise_identical_to_per_frame(self):
+        frames = self._frames()
+        batched = frames_to_scanline_lab(frames)
+        assert len(batched) == len(frames)
+        for frame, scanlines in zip(frames, batched):
+            reference = frame_to_scanline_lab(frame)
+            assert scanlines.dtype == reference.dtype
+            assert np.array_equal(scanlines, reference)
+
+    def test_smoothing_parameter_forwarded(self):
+        frames = self._frames(count=3)
+        for smooth in (1, 5):
+            batched = frames_to_scanline_lab(frames, smooth_rows=smooth)
+            for frame, scanlines in zip(frames, batched):
+                assert np.array_equal(
+                    scanlines, frame_to_scanline_lab(frame, smooth_rows=smooth)
+                )
+
+    def test_empty_recording(self):
+        assert frames_to_scanline_lab([]) == []
+
+    def test_mismatched_shapes_rejected(self):
+        frames = self._frames(count=2) + self._frames(count=1, rows=20)
+        with pytest.raises(DemodulationError, match="one shape"):
+            frames_to_scanline_lab(frames)
