@@ -26,6 +26,13 @@ from repro.exceptions import (
     TraceError,
 )
 from repro.faults import CHAOS_REGISTRY, FAULT_REGISTRY, parse_chaos_specs, parse_fault_specs
+from repro.link.adapt import (
+    EXEC_BATCH,
+    EXEC_STREAMING,
+    adaptive_vs_fixed,
+    simulate_adaptive,
+)
+from repro.link.channel import ChannelTrajectory
 from repro.link.simulator import RunSpec
 from repro.link.workloads import text_payload
 from repro.obs import (
@@ -388,6 +395,88 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_adapt(args: argparse.Namespace) -> int:
+    """Replay the pinned drift trajectory: closed loop vs every fixed rung."""
+    from repro.exceptions import AdaptationError
+
+    device = _device(args.device)
+    trajectory = ChannelTrajectory.drift_demo(segment_s=args.segment)
+    execution = EXEC_STREAMING if args.execution == "streaming" else EXEC_BATCH
+    tracer = Tracer() if args.trace else None
+    registry = MetricsRegistry() if args.metrics else None
+    print(f"device : {device.name}")
+    print(
+        f"channel: {len(trajectory.segments)} segment(s), "
+        f"{trajectory.total_duration_s:g} s total, rate {args.rate:g} sym/s"
+    )
+    try:
+        comparison = adaptive_vs_fixed(
+            trajectory,
+            device,
+            symbol_rate=args.rate,
+            seed=args.seed,
+            simulated_columns=args.columns,
+            execution=execution,
+            tracer=tracer,
+            metrics=registry,
+        )
+    except AdaptationError as exc:
+        raise SystemExit(f"colorbars adapt: {exc}")
+    adaptive = comparison.adaptive
+    for line in adaptive.trace():
+        print(f"  {line}")
+    print(
+        f"adaptive: {adaptive.payload_bytes} bytes "
+        f"({adaptive.goodput_bps:.1f} bps)"
+        + (" QUARANTINED" if adaptive.quarantined else "")
+    )
+    for index, run in sorted(comparison.fixed.items()):
+        cliffs = sum(
+            1
+            for segment in run.segments
+            if segment.packets_seen > 0 and segment.packets_decoded == 0
+        )
+        print(
+            f"fixed {index}: {run.label:<24} {run.payload_bytes:>5} bytes "
+            f"({run.goodput_bps:.1f} bps), {cliffs} FEC-cliff window(s)"
+        )
+    best_index, best = comparison.best_fixed()
+    verdict = "sustains" if adaptive.payload_bytes >= best.payload_bytes else "BELOW"
+    print(
+        f"verdict: adaptive {verdict} best fixed rung {best_index} "
+        f"({adaptive.payload_bytes} vs {best.payload_bytes} bytes)"
+    )
+    if args.execution == "both":
+        other = simulate_adaptive(
+            trajectory,
+            device,
+            symbol_rate=args.rate,
+            seed=args.seed,
+            simulated_columns=args.columns,
+            execution=EXEC_STREAMING,
+        )
+        identical = other.trace() == adaptive.trace()
+        print(
+            "shapes : batch and streaming decision traces "
+            + ("identical" if identical else "DIVERGED")
+        )
+        if not identical:
+            return 2
+    if args.trace:
+        write_trace(args.trace, tracer.spans())
+        print(f"trace  : wrote {len(tracer.spans())} span(s) to {args.trace}")
+    if registry is not None:
+        _emit_metrics(registry, args.metrics)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(comparison.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.output}")
+    if adaptive.quarantined:
+        return 0 if args.allow_degraded else EXIT_DEGRADED
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     if args.schema:
         print(render_reference(), end="")
@@ -686,6 +775,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     observability(serve_p)
     serve_p.set_defaults(func=cmd_serve)
+
+    adapt_p = sub.add_parser(
+        "adapt",
+        help="replay the pinned time-varying channel with the closed-loop"
+        " rate controller and compare against every fixed rung",
+    )
+    adapt_p.add_argument("--device", default="nexus5", help="nexus5 | iphone5s | generic")
+    adapt_p.add_argument(
+        "--rate", type=float, default=1500.0, help="symbols per second"
+    )
+    adapt_p.add_argument("--seed", type=int, default=7)
+    adapt_p.add_argument(
+        "--columns", type=int, default=48,
+        help="simulated sensor columns per frame (default 48)",
+    )
+    adapt_p.add_argument(
+        "--segment", type=float, default=0.8, metavar="SECONDS",
+        help="trajectory segment length (default 0.8)",
+    )
+    adapt_p.add_argument(
+        "--execution", choices=("batch", "streaming", "both"), default="batch",
+        help="decode shape; 'both' also verifies the decision traces match",
+    )
+    adapt_p.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the JSON adaptive-vs-fixed comparison to PATH",
+    )
+    adapt_p.add_argument(
+        "--allow-degraded", action="store_true",
+        help="exit 0 even when the adaptive run quarantined (default: exit 3)",
+    )
+    observability(adapt_p)
+    adapt_p.set_defaults(func=cmd_adapt)
 
     trace_p = sub.add_parser(
         "trace", help="summarize/filter a --trace JSONL file, or print the schema"

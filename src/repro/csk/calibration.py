@@ -223,6 +223,19 @@ class CalibrationTable:
         residual = chroma - design @ coeffs
         return float(np.sqrt(np.mean(np.sum(residual**2, axis=1))))
 
+    def distance_matrix(self, chroma: np.ndarray) -> np.ndarray:
+        """ΔE from each chroma sample to *every* reference.
+
+        ``chroma`` is ``(..., 2)``; returns ``(..., order)`` distances.  The
+        full matrix is what margin estimation needs: the gap between the
+        nearest and second-nearest reference is the decision margin the
+        link-adaptation controller watches (:mod:`repro.link.adapt`).
+        """
+        refs = self.references  # raises if uncalibrated
+        chroma = np.asarray(chroma, dtype=float)
+        deltas = chroma[..., np.newaxis, :] - refs
+        return np.sqrt(np.sum(deltas**2, axis=-1))
+
     def match(self, chroma: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Nearest reference for each chroma sample.
 
@@ -230,10 +243,7 @@ class CalibrationTable:
         broadcast leading shape.  Callers compare distances against the ΔE
         acceptance threshold.
         """
-        refs = self.references  # raises if uncalibrated
-        chroma = np.asarray(chroma, dtype=float)
-        deltas = chroma[..., np.newaxis, :] - refs
-        distances = np.sqrt(np.sum(deltas**2, axis=-1))
+        distances = self.distance_matrix(chroma)
         indices = np.argmin(distances, axis=-1)
         best = np.take_along_axis(
             distances, indices[..., np.newaxis], axis=-1

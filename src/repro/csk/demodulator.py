@@ -36,12 +36,23 @@ class DecisionKind(Enum):
 
 @dataclass(frozen=True)
 class SymbolDecision:
-    """One demodulated band: its class, index (DATA only), and confidence."""
+    """One demodulated band: its class, index (DATA only), and confidence.
+
+    ``margin`` is the ΔE gap between the nearest and second-nearest
+    candidate reference (data references plus white) — the distance this
+    decision sits from flipping to its runner-up.  It is the per-symbol
+    channel-quality signal the link-adaptation controller aggregates
+    (:mod:`repro.link.adapt`).  ``None`` for OFF decisions (settled by
+    lightness alone, never matched against the table) and for bootstrap
+    decisions made before any calibration exists — an undefined margin is
+    *not* a zero margin.
+    """
 
     kind: DecisionKind
     index: Optional[int]
     distance: float
     confident: bool
+    margin: Optional[float] = None
 
     def to_char(self) -> str:
         """Compact notation matching :meth:`LogicalSymbol.to_char`."""
@@ -117,25 +128,36 @@ class CskDemodulator:
         # Distances to data references and to the white reference, lit rows
         # only.
         chroma = lab[lit, 1:]
-        indices, data_dist = self.calibration.match(chroma)
+        matrix = self.calibration.distance_matrix(chroma)
+        indices = np.argmin(matrix, axis=-1)
+        data_dist = np.take_along_axis(
+            matrix, indices[..., np.newaxis], axis=-1
+        )[..., 0]
         white_ref = self.calibration.white_reference
         white_dist = np.sqrt(np.sum((chroma - white_ref) ** 2, axis=-1))
         is_white = white_dist < data_dist
         distance = np.where(is_white, white_dist, data_dist)
         confident = distance <= self.acceptance_delta_e
+        # Margin to the runner-up over the full candidate set (data
+        # references + white): how far each decision is from flipping.
+        candidates = np.concatenate([matrix, white_dist[:, np.newaxis]], axis=1)
+        nearest_two = np.partition(candidates, 1, axis=1)
+        margin = nearest_two[:, 1] - nearest_two[:, 0]
 
-        for row, white, dist, index, sure in zip(
+        for row, white, dist, index, sure, gap in zip(
             lit.tolist(),
             is_white.tolist(),
             distance.tolist(),
             indices.tolist(),
             confident.tolist(),
+            margin.tolist(),
         ):
             decisions[row] = SymbolDecision(
                 DecisionKind.WHITE if white else DecisionKind.DATA,
                 None if white else int(index),
                 float(dist),
                 bool(sure),
+                float(gap),
             )
         return decisions
 

@@ -87,6 +87,11 @@ class FaultInjectionError(ColorBarsError):
     """A fault injector was misconfigured (bad spec, intensity out of range)."""
 
 
+class AdaptationError(ColorBarsError):
+    """The link-adaptation subsystem was misconfigured (empty ladder, a rung
+    violating the flicker budget, an out-of-range hysteresis constant)."""
+
+
 @dataclass(frozen=True)
 class FrameFailure:
     """One contained per-frame receive failure (the graceful-degradation record).

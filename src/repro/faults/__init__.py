@@ -33,6 +33,7 @@ from repro.faults.chaos import (
 )
 from repro.faults.injectors import (
     FAULT_REGISTRY,
+    DriftInjector,
     FrameDropInjector,
     OcclusionInjector,
     SaturationInjector,
@@ -57,6 +58,7 @@ __all__ = [
     "parse_chaos_spec",
     "parse_chaos_specs",
     "FAULT_REGISTRY",
+    "DriftInjector",
     "FrameDropInjector",
     "OcclusionInjector",
     "SaturationInjector",

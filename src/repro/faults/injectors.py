@@ -1,8 +1,9 @@
-"""The five built-in fault injectors and the name registry behind ``--fault``.
+"""The built-in fault injectors and the name registry behind ``--fault``.
 
 Each injector models one impairment class real LED-to-camera links exhibit
 (occlusion, saturation, exposure spikes, dropped/corrupted frames, clock
-drift) as a seeded transform over the captured-frame list.  See
+drift, slow channel drift) as a seeded transform over the captured-frame
+list.  See
 :mod:`repro.faults.base` for the two contract rules every injector obeys
 (zero-is-a-no-op, fixed per-frame random budget).
 """
@@ -214,6 +215,62 @@ class TimingJitterInjector(FaultInjector):
         return out
 
 
+class DriftInjector(FaultInjector):
+    """Slow channel drift: a multiplicative gain fade plus an ambient ramp.
+
+    Models the time-varying channel of a walk-away-while-the-lights-come-up
+    scenario: the LED's apparent gain fades linearly over the recording
+    (inverse-square loss as distance grows) while a warm ambient level ramps
+    up, washing chroma out of the bands.  ``intensity`` scales the depth of
+    both ramps; the ramp itself is a deterministic function of frame
+    position, with a small per-frame gain ripple drawn from the fixed random
+    budget so two intensities wobble the same frames the same way (common
+    random numbers).  This is the impairment the link-adaptation controller
+    (:mod:`repro.link.adapt`) is built to survive.
+    """
+
+    name = "drift"
+
+    #: Fraction of gain lost by the final frame at intensity 1.0.
+    max_gain_fade = 0.7
+    #: 8-bit counts of ambient light added by the final frame at intensity 1.0.
+    max_ambient_level = 80.0
+    #: Relative channel weights of the ambient cast (warm indoor light).
+    ambient_rgb = (1.0, 0.93, 0.82)
+    #: Std of the per-frame multiplicative gain ripple at intensity 1.0.
+    gain_ripple = 0.02
+
+    def _apply(
+        self,
+        frames: List[CapturedFrame],
+        rng: np.random.Generator,
+        schedule: FaultSchedule,
+    ) -> List[CapturedFrame]:
+        # Fixed budget first (intensity-independent), then deterministic
+        # scaling: the ramp depth moves with intensity, the ripple pattern
+        # does not.
+        ripple = rng.normal(0.0, 1.0, size=len(frames))
+        span = max(len(frames) - 1, 1)
+        cast = np.asarray(self.ambient_rgb, dtype=np.float64)
+        out: List[CapturedFrame] = []
+        for position, (frame, wobble) in enumerate(zip(frames, ripple)):
+            progress = position / span
+            gain = 1.0 - self.max_gain_fade * self.intensity * progress
+            gain *= 1.0 + self.gain_ripple * self.intensity * wobble
+            gain = float(np.clip(gain, 0.05, 1.0))
+            ambient = self.max_ambient_level * self.intensity * progress
+            pixels = frame.pixels.astype(np.float64) * gain + ambient * cast
+            pixels = np.clip(pixels, 0, 255).astype(np.uint8)
+            schedule.record(
+                self.name,
+                frame.index,
+                gain,
+                f"gain x{gain:.3f}, ambient +{ambient:.1f}",
+            )
+            out.append(replace(frame, pixels=pixels))
+        return out
+
+
 #: Canonical name -> injector class, the vocabulary of ``--fault NAME:INTENSITY``.
 FAULT_REGISTRY: Dict[str, Type[FaultInjector]] = {
     injector.name: injector
@@ -223,6 +280,7 @@ FAULT_REGISTRY: Dict[str, Type[FaultInjector]] = {
         OcclusionInjector,
         SaturationInjector,
         TimingJitterInjector,
+        DriftInjector,
     )
 }
 

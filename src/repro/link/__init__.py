@@ -7,7 +7,24 @@
 exposes the parameter sweeps the paper's evaluation section performs.
 """
 
-from repro.link.channel import ChannelConditions
+from repro.link.adapt import (
+    AdaptationDecision,
+    AdaptationPolicy,
+    AdaptiveComparison,
+    LinkAdaptationController,
+    ModulationLadder,
+    ModulationRung,
+    ReportWindowTracker,
+    WindowStats,
+    adaptive_vs_fixed,
+    simulate_adaptive,
+    simulate_fixed,
+)
+from repro.link.channel import (
+    ChannelConditions,
+    ChannelTrajectory,
+    TrajectorySegment,
+)
 from repro.link.multi import (
     FleetMember,
     FleetReport,
@@ -29,7 +46,20 @@ from repro.link.workloads import (
 )
 
 __all__ = [
+    "AdaptationDecision",
+    "AdaptationPolicy",
+    "AdaptiveComparison",
+    "LinkAdaptationController",
+    "ModulationLadder",
+    "ModulationRung",
+    "ReportWindowTracker",
+    "WindowStats",
+    "adaptive_vs_fixed",
+    "simulate_adaptive",
+    "simulate_fixed",
     "ChannelConditions",
+    "ChannelTrajectory",
+    "TrajectorySegment",
     "FleetMember",
     "FleetReport",
     "broadcast_to_fleet",

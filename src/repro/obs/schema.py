@@ -46,6 +46,8 @@ SPAN_FEC = "fec"
 SPAN_METRICS = "metrics"
 SPAN_SERVE_PUMP = "serve-pump"
 SPAN_SERVE_CLOSE = "serve-close"
+SPAN_ADAPT_SEGMENT = "adapt-segment"
+SPAN_ADAPT_DECISION = "adapt-decision"
 
 # -- metric names ----------------------------------------------------------
 
@@ -78,6 +80,12 @@ M_SESSIONS_CLOSED = "colorbars.sessions.closed"
 M_SESSIONS_ACTIVE = "colorbars.sessions.active"
 M_SESSION_FRAMES_DROPPED = "colorbars.sessions.frames_dropped"
 M_SESSION_QUEUE_PEAK = "colorbars.sessions.queue_peak"
+M_ADAPT_DECISIONS = "colorbars.adapt.decisions"
+M_ADAPT_UPSHIFTS = "colorbars.adapt.upshifts"
+M_ADAPT_DOWNSHIFTS = "colorbars.adapt.downshifts"
+M_ADAPT_RUNG = "colorbars.adapt.rung"
+M_ADAPT_MARGIN = "colorbars.adapt.margin_delta_e"
+M_ADAPT_QUARANTINES_AVERTED = "colorbars.adapt.quarantines_averted"
 
 
 @dataclass(frozen=True)
@@ -178,6 +186,18 @@ SPANS: Tuple[SpanEntry, ...] = (
         SPAN_SERVE_CLOSE, "(root)", "repro.serve.manager",
         "One session teardown (close or idle eviction): the streaming "
         "flush plus its final packet accounting as attributes.",
+    ),
+    SpanEntry(
+        SPAN_ADAPT_SEGMENT, "(root)", "repro.link.adapt",
+        "One trajectory segment of an adaptive (or fixed-baseline) run: "
+        "the rung in force, its CSK order, and the measured window stats "
+        "as attributes.",
+    ),
+    SpanEntry(
+        SPAN_ADAPT_DECISION, SPAN_SERVE_PUMP, "repro.serve.manager",
+        "One controller decision applied to a session at a packet "
+        "boundary (or on a failure streak): action, rung transition and "
+        "reason as attributes.",
     ),
 )
 
@@ -303,6 +323,37 @@ METRICS: Tuple[MetricEntry, ...] = (
         M_SESSION_QUEUE_PEAK, KIND_GAUGE, "frames", "repro.serve.manager",
         "Deepest per-session frame queue observed since the manager "
         "started (never exceeds the configured cap).",
+    ),
+    MetricEntry(
+        M_ADAPT_DECISIONS, KIND_COUNTER, "decisions", "repro.link.adapt",
+        "Link-adaptation controller decisions taken (every action, both "
+        "execution shapes).",
+    ),
+    MetricEntry(
+        M_ADAPT_UPSHIFTS, KIND_COUNTER, "decisions", "repro.link.adapt",
+        "Decisions that moved one rung faster after the clean-window "
+        "streak.",
+    ),
+    MetricEntry(
+        M_ADAPT_DOWNSHIFTS, KIND_COUNTER, "decisions", "repro.link.adapt",
+        "Decisions that moved one rung more robust (margin/SER/erasure "
+        "breach, or a serve-side failure streak).",
+    ),
+    MetricEntry(
+        M_ADAPT_RUNG, KIND_GAUGE, "rung", "repro.link.adapt",
+        "Modulation-ladder rung in force after the latest decision "
+        "(0 = fastest).",
+    ),
+    MetricEntry(
+        M_ADAPT_MARGIN, KIND_HISTOGRAM, "delta-e", "repro.link.adapt",
+        "Per-window mean ΔE margin to the runner-up reference (observed "
+        "only for windows where the margin is defined).",
+    ),
+    MetricEntry(
+        M_ADAPT_QUARANTINES_AVERTED, KIND_COUNTER, "sessions",
+        "repro.serve.manager",
+        "Failure streaks absorbed by a controller downshift instead of "
+        "quarantine (quarantine is the ladder's last rung).",
     ),
 )
 

@@ -52,7 +52,11 @@ from repro.util.stopwatch import StageTimings
 #: timed legs to run *warm*: one untimed grid cell runs first so the report
 #: tracks steady-state throughput instead of allocator/ufunc warm-up and
 #: cold RNG-plan draws.
-BENCH_SCHEMA_VERSION = 4
+#: v5 added ``adaptive_vs_fixed`` — goodput of the closed-loop link
+#: adaptation controller against its best fixed rung over a pinned
+#: time-varying channel (:mod:`repro.link.adapt`), so rate-control
+#: regressions show up in the tracked trajectory alongside raw throughput.
+BENCH_SCHEMA_VERSION = 5
 
 #: Default output path (repo root by convention).
 BENCH_FILENAME = "BENCH_colorbars.json"
@@ -76,6 +80,7 @@ REQUIRED_KEYS = (
     "cells_per_sec",
     "speedup",
     "speedup_meaningful",
+    "adaptive_vs_fixed",
     "history",
 )
 
@@ -137,6 +142,70 @@ def micro_sweep_specs(quick: bool = False) -> List[RunSpec]:
         )
         for order, rate in grid
     ]
+
+
+#: Pinned adaptation micro-trajectory: clean -> drifted -> clean on the
+#: bench camera, two rungs (32 and 16 CSK).  Small on purpose — the entry
+#: tracks the controller's goodput trajectory, not the full acceptance
+#: experiment (that is the adaptation-smoke CI job on a phone profile).
+_ADAPT_RATE = 2000.0
+_ADAPT_SEGMENT_S = 0.5
+
+
+def adaptive_vs_fixed_entry(quick: bool = False) -> Dict:
+    """The ``adaptive_vs_fixed`` report entry: one pinned closed-loop run.
+
+    Identical in quick and full mode — the run is sub-second either way,
+    and a pinned trajectory keeps the goodput numbers comparable across
+    every entry in the folded history.
+    """
+    from repro.link.adapt import (
+        ModulationLadder,
+        ModulationRung,
+        adaptive_vs_fixed,
+    )
+    from repro.link.channel import ChannelTrajectory, TrajectorySegment
+
+    del quick  # same entry in both modes, by design
+    segment_s = _ADAPT_SEGMENT_S
+    trajectory = ChannelTrajectory(
+        segments=(
+            TrajectorySegment(duration_s=segment_s),
+            TrajectorySegment(duration_s=segment_s, drift_intensity=0.5),
+            TrajectorySegment(duration_s=segment_s, drift_intensity=0.5),
+            TrajectorySegment(duration_s=segment_s),
+        )
+    )
+    ladder = ModulationLadder(
+        rungs=(
+            ModulationRung(csk_order=32, loss_ratio=0.20),
+            ModulationRung(csk_order=16, white_margin=0.02, loss_ratio=0.25),
+        )
+    )
+    start = time.perf_counter()
+    comparison = adaptive_vs_fixed(
+        trajectory,
+        bench_device(),
+        ladder=ladder,
+        symbol_rate=_ADAPT_RATE,
+        seed=_BENCH_SEED,
+        simulated_columns=_BENCH_COLUMNS,
+    )
+    wall = time.perf_counter() - start
+    best_index, best = comparison.best_fixed()
+    actions = comparison.adaptive.actions()
+    return {
+        "goodput_bps": {
+            "adaptive": round(comparison.adaptive.goodput_bps, 4),
+            "best_fixed": round(best.goodput_bps, 4),
+        },
+        "best_fixed_rung": best_index,
+        "downshifts": actions.count("downshift"),
+        "upshifts": actions.count("upshift"),
+        "quarantined": comparison.adaptive.quarantined,
+        "segments": len(trajectory.segments),
+        "wall_s": round(wall, 4),
+    }
 
 
 def run_bench(
@@ -217,6 +286,8 @@ def run_bench(
         if result is not None:
             stages.merge(result.timings)
 
+    adapt_entry = adaptive_vs_fixed_entry(quick=quick)
+
     cell_count = len(specs)
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -247,6 +318,7 @@ def run_bench(
         # measures pool overhead, not parallelism, so the leg is skipped
         # outright and the comparison reported as null.
         "speedup_meaningful": run_parallel,
+        "adaptive_vs_fixed": adapt_entry,
     }
 
 
@@ -380,6 +452,27 @@ def validate_report(report: Dict) -> None:
         raise BenchError(
             "speedup_meaningful must be a boolean, got "
             f"{report['speedup_meaningful']!r}"
+        )
+    adapt = report["adaptive_vs_fixed"]
+    if not isinstance(adapt, dict):
+        raise BenchError(
+            f"adaptive_vs_fixed must be an object, got {type(adapt).__name__}"
+        )
+    goodput = adapt.get("goodput_bps")
+    if not isinstance(goodput, dict) or set(goodput) != {"adaptive", "best_fixed"}:
+        raise BenchError(
+            "adaptive_vs_fixed.goodput_bps must map exactly adaptive/best_fixed"
+        )
+    for mode, value in goodput.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+            raise BenchError(
+                f"adaptive_vs_fixed.goodput_bps.{mode} must be a "
+                f"non-negative number, got {value!r}"
+            )
+    if not isinstance(adapt.get("quarantined"), bool):
+        raise BenchError(
+            "adaptive_vs_fixed.quarantined must be a boolean, got "
+            f"{adapt.get('quarantined')!r}"
         )
     failures = report["failures"]
     if not isinstance(failures, int) or isinstance(failures, bool) or failures < 0:

@@ -68,6 +68,7 @@ def deconvolve_frame(
     bands: List[Band],
     smear_rows: float,
     ridge: float = 1e-3,
+    preserve_dark_below: Optional[float] = None,
 ) -> List[Band]:
     """Re-estimate every band's color by exposure deconvolution.
 
@@ -78,6 +79,13 @@ def deconvolve_frame(
     ``ridge`` regularizes the normal equations (scanline noise would
     otherwise leak between neighbouring symbols through the near-singular
     boundary rows).
+
+    ``preserve_dark_below`` keeps the segmenter's direct plateau estimate
+    for bands whose measured lightness is already under the threshold: an
+    off symbol carries no chroma to recover, and at the black floor the
+    regularized solve can only *add* leakage from lit neighbours — enough
+    to push a dark band across the off-lightness decision boundary and
+    corrupt the white/off anchors the packet assembler keys on.
     """
     if not bands:
         return []
@@ -129,7 +137,12 @@ def deconvolve_frame(
             row_stop=band.row_stop,
             core_start=band.core_start,
             core_stop=band.core_stop,
-            lab=lab[index],
+            lab=(
+                band.lab
+                if preserve_dark_below is not None
+                and band.lab[0] < preserve_dark_below
+                else lab[index]
+            ),
         )
         for index, band in enumerate(bands)
     ]

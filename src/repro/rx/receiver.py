@@ -89,6 +89,13 @@ class ReceiverReport:
     throughput and goodput metrics of §8.  ``frame_failures`` lists every
     frame whose pipeline raised and was contained (the session-never-dies
     contract); ``fec_failures`` retains why each failed packet failed.
+
+    The ``calibration_symbol_*`` / ``*_symbols_seen`` counters are the raw
+    material of the channel-quality estimates (``ser_estimate``,
+    ``delta_e_margin``, ``erasure_fraction``) that the link-adaptation
+    controller consumes (:mod:`repro.link.adapt`); they are filled by the
+    same shared internals in batch and streaming execution, so the two
+    shapes report identical channel quality.
     """
 
     payloads: List[bytes] = field(default_factory=list)
@@ -103,6 +110,15 @@ class ReceiverReport:
     symbols_lost_in_gaps: int = 0
     frame_failures: List[FrameFailure] = field(default_factory=list)
     fec_failures: List[FecFailure] = field(default_factory=list)
+    #: Calibration symbols matched against an already-calibrated table, and
+    #: how many matched the wrong index — a ground-truth SER probe, since
+    #: calibration packets carry the constellation in known index order.
+    calibration_symbols_seen: int = 0
+    calibration_symbol_errors: int = 0
+    #: Codeword symbols (bytes) of packets passing the header check, and how
+    #: many of those positions the gaps erased.
+    codeword_symbols_seen: int = 0
+    erasure_symbols_seen: int = 0
 
     @property
     def payload_bytes(self) -> int:
@@ -111,6 +127,52 @@ class ReceiverReport:
     @property
     def frames_failed(self) -> int:
         return len(self.frame_failures)
+
+    # -- channel-quality estimates (None = undefined, never 0) ------------
+
+    @property
+    def ser_estimate(self) -> Optional[float]:
+        """Symbol-error-rate proxy from calibration symbols.
+
+        Calibration packets transmit the constellation in index order, so
+        each received calibration symbol has a known ground-truth index;
+        the fraction whose nearest reference disagrees is a direct SER
+        measurement on known data.  ``None`` until at least one calibration
+        packet was matched against a calibrated table.
+        """
+        if self.calibration_symbols_seen == 0:
+            return None
+        return self.calibration_symbol_errors / self.calibration_symbols_seen
+
+    @property
+    def delta_e_margin(self) -> Optional[float]:
+        """Mean ΔE margin to the runner-up reference over lit decisions.
+
+        Aggregates :attr:`~repro.csk.demodulator.SymbolDecision.margin`
+        across every decision that has one.  ``None`` when no lit band was
+        ever matched — notably the all-dark short-circuit path (occlusion,
+        gap-straddling frames), where the margin is *undefined*, not zero.
+        """
+        total = 0.0
+        count = 0
+        for band in self.bands:
+            gap = band.decision.margin
+            if gap is not None:
+                total += gap
+                count += 1
+        if count == 0:
+            return None
+        return total / count
+
+    @property
+    def erasure_fraction(self) -> Optional[float]:
+        """Fraction of codeword symbol positions lost to gaps/erasures.
+
+        ``None`` until at least one packet passed the header check.
+        """
+        if self.codeword_symbols_seen == 0:
+            return None
+        return self.erasure_symbols_seen / self.codeword_symbols_seen
 
     def fec_failures_by_reason(self) -> dict:
         """``{reason: count}`` over every recorded FEC failure."""
@@ -366,7 +428,12 @@ class ColorBarsReceiver:
                 from repro.rx.equalizer import deconvolve_frame
 
                 stage = "equalize"
-                bands = deconvolve_frame(frame, bands, smear_rows)
+                bands = deconvolve_frame(
+                    frame,
+                    bands,
+                    smear_rows,
+                    preserve_dark_below=self.demodulator.off_lightness,
+                )
             return _SegmentedFrame(frame=frame, bands=bands)
         except ColorBarsError as exc:
             return _SegmentedFrame(
@@ -417,11 +484,24 @@ class ColorBarsReceiver:
     def _absorb_calibrations(
         self, events: Sequence[CalibrationEvent], report: ReceiverReport
     ) -> None:
-        """Fold credible calibration events into the table, count the rest."""
+        """Fold credible calibration events into the table, count the rest.
+
+        Credible events are also scored *before* they update the table:
+        their symbols carry known ground-truth indices, so matching them
+        against the current references measures the symbol error rate the
+        channel is actually producing (``report.ser_estimate``).
+        """
         for event in events:
             if not self._credible_calibration(event):
                 report.calibration_rejected += 1
                 continue
+            if self.calibration.is_calibrated and len(event.indices) > 0:
+                matched, _ = self.calibration.match(event.symbol_chroma)
+                expected = np.asarray(list(event.indices))
+                report.calibration_symbols_seen += len(event.indices)
+                report.calibration_symbol_errors += int(
+                    np.count_nonzero(matched != expected)
+                )
             self.calibration.update_partial(
                 event.indices, event.symbol_chroma, event.white_chroma
             )
@@ -482,6 +562,8 @@ class ColorBarsReceiver:
                 f"header advertises n={packet.header_bytes}, codec n={expected_n}",
             )
         erasures = [p for p in packet.erasure_positions if p < expected_n]
+        report.codeword_symbols_seen += expected_n
+        report.erasure_symbols_seen += len(erasures)
         if len(erasures) > parity:
             return fail(
                 FEC_ERASURE_BUDGET,

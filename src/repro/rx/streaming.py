@@ -60,7 +60,10 @@ class PacketEvent:
     ``decoded`` tells which of ``payload`` (the k-byte packet payload) and
     ``failure`` (the :class:`~repro.rx.receiver.FecFailure` record) is set.
     ``erasures`` and ``complete`` summarize how much of the codeword the
-    inter-frame gaps swallowed.
+    inter-frame gaps swallowed; ``codeword_symbols`` is the codeword length
+    the packet's header advertised, making ``erasure_fraction`` the
+    per-packet channel-quality signal the link-adaptation controller
+    consumes at packet boundaries (:mod:`repro.link.adapt`).
     """
 
     first_frame: int
@@ -69,6 +72,14 @@ class PacketEvent:
     failure: Optional[FecFailure]
     erasures: int
     complete: bool
+    codeword_symbols: int = 0
+
+    @property
+    def erasure_fraction(self) -> Optional[float]:
+        """Erased share of this packet's codeword; ``None`` if unknown."""
+        if self.codeword_symbols <= 0:
+            return None
+        return min(1.0, self.erasures / self.codeword_symbols)
 
 
 def _event_from(packet, outcome) -> PacketEvent:
@@ -80,6 +91,7 @@ def _event_from(packet, outcome) -> PacketEvent:
         failure=None if decoded else outcome,
         erasures=len(packet.erasure_positions),
         complete=packet.complete,
+        codeword_symbols=packet.header_bytes,
     )
 
 

@@ -14,6 +14,9 @@ from repro.serve.manager import (
     BACKPRESSURE_DROP_OLDEST,
     BACKPRESSURE_POLICIES,
     BACKPRESSURE_REJECT,
+    CAUSE_CHANNEL,
+    CAUSE_ERROR,
+    CAUSE_POISON,
     REJECT_CAPACITY,
     REJECT_DUPLICATE,
     SUBMIT_ACCEPTED,
@@ -48,6 +51,9 @@ __all__ = [
     "BACKPRESSURE_DROP_OLDEST",
     "BACKPRESSURE_POLICIES",
     "BACKPRESSURE_REJECT",
+    "CAUSE_CHANNEL",
+    "CAUSE_ERROR",
+    "CAUSE_POISON",
     "REJECT_CAPACITY",
     "REJECT_DUPLICATE",
     "SUBMIT_ACCEPTED",

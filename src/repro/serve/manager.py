@@ -21,6 +21,14 @@ level up — what :class:`~repro.exceptions.CellFailure` is to a sweep cell,
   whose receiver raises outright (``error``), is contained: its queue is
   discarded, a :class:`SessionFailure` is recorded, and every other
   session keeps decoding.  The manager itself never dies.
+* **Link adaptation** — with a ``make_controller`` factory, each session
+  carries a :class:`~repro.link.adapt.LinkAdaptationController` fed one
+  channel-quality window per packet boundary; decisions are recorded as
+  ``adapt-decision`` spans and ``colorbars.adapt.*`` metrics.  Quarantine
+  becomes the *last* rung: a failure streak first forces a downshift
+  (counted as an averted quarantine) and only quarantines — with cause
+  ``channel`` — once the ladder is exhausted or the controller itself
+  gives up.
 
 Per-session spans and admitted/rejected/evicted/quarantined counters and
 queue-depth gauges thread through :mod:`repro.obs` (see
@@ -40,8 +48,11 @@ from repro.exceptions import (
     SessionFailure,
     SessionStateError,
 )
+from repro.link.adapt import ACTION_QUARANTINE, WindowStats
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.schema import (
+    M_ADAPT_QUARANTINES_AVERTED,
+    SPAN_ADAPT_DECISION,
     M_SESSION_FRAMES_DROPPED,
     M_SESSION_QUEUE_PEAK,
     M_SESSIONS_ACTIVE,
@@ -72,6 +83,13 @@ BACKPRESSURE_POLICIES = (BACKPRESSURE_DROP_OLDEST, BACKPRESSURE_REJECT)
 #: Admission refusal reasons (:class:`AdmissionError` ``reason`` tokens).
 REJECT_CAPACITY = "capacity"
 REJECT_DUPLICATE = "duplicate"
+
+#: Quarantine causes (``SessionFailure.cause`` tokens): ``poison`` (frame
+#: failure streak, no controller or ladder exhausted), ``error`` (receiver
+#: raised), ``channel`` (the adaptation controller recommended quarantine).
+CAUSE_POISON = "poison"
+CAUSE_ERROR = "error"
+CAUSE_CHANNEL = "channel"
 
 #: ``submit_frame`` outcomes.
 SUBMIT_ACCEPTED = "accepted"
@@ -143,8 +161,13 @@ class SessionManager:
         tracer=None,
         metrics=None,
         clock: Callable[[], float] = time.monotonic,
+        make_controller: Optional[Callable[[str], object]] = None,
     ) -> None:
         self.make_streaming = make_streaming
+        #: Optional per-session link-adaptation controller factory
+        #: (session id -> :class:`~repro.link.adapt.LinkAdaptationController`).
+        #: ``None`` keeps the pre-adaptation behavior exactly.
+        self.make_controller = make_controller
         self.policy = policy if policy is not None else ServePolicy()
         self.policy.validate()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -202,8 +225,20 @@ class SessionManager:
                 f"at capacity: {self._active} active session(s) of "
                 f"{policy.max_sessions} allowed",
             )
+        controller = (
+            self.make_controller(session_id)
+            if self.make_controller is not None
+            else None
+        )
+        if controller is not None and controller.metrics is NULL_METRICS:
+            # A factory that did not wire metrics inherits the manager's,
+            # so adapt decisions land in the same registry as session ones.
+            controller.metrics = self.metrics
         session = ReceiverSession(
-            session_id, self.make_streaming(session_id), self.clock()
+            session_id,
+            self.make_streaming(session_id),
+            self.clock(),
+            controller=controller,
         )
         self.sessions[session_id] = session
         self._active += 1
@@ -305,27 +340,89 @@ class SessionManager:
             except ColorBarsError as exc:
                 # feed() contains per-frame pipeline errors itself; one
                 # escaping means the receiver cannot continue at all.
-                self._quarantine(session, "error", type(exc).__name__, str(exc))
+                self._quarantine(session, CAUSE_ERROR, type(exc).__name__, str(exc))
                 break
             except Exception as exc:
-                self._quarantine(session, "error", type(exc).__name__, str(exc))
+                self._quarantine(session, CAUSE_ERROR, type(exc).__name__, str(exc))
                 break
             fed += 1
             session.frames_processed += 1
             session.events.extend(events)
             session.last_activity = self.clock()
+            if events and session.controller is not None:
+                if not self._observe_window(session):
+                    break
             if streaming.failures_contained > failures_before:
                 session.consecutive_failures += 1
                 if session.consecutive_failures >= self.policy.quarantine_after:
+                    if self._avert_quarantine(session):
+                        continue
                     self._quarantine(
                         session,
-                        "poison",
+                        CAUSE_POISON,
                         *self._last_failure_detail(session),
                     )
                     break
             else:
                 session.consecutive_failures = 0
         return fed
+
+    def _observe_window(self, session: ReceiverSession) -> bool:
+        """Close one adaptation window at a packet boundary.
+
+        Feeds the controller the stats the session's report gained since
+        the previous boundary and records the decision.  Returns False
+        when the decision was quarantine (the session is retired with
+        cause ``channel`` — the rung past the end of the ladder).
+        """
+        controller = session.controller
+        stats = session.window_tracker.take(session.report)
+        decision = controller.observe(stats)
+        session.adapt_decisions.append(decision)
+        with self.tracer.span(
+            SPAN_ADAPT_DECISION, session=session.session_id
+        ) as span:
+            span.set("action", decision.action)
+            span.set("rung", decision.rung)
+            span.set("reason", decision.reason)
+        if decision.action == ACTION_QUARANTINE:
+            self._quarantine(
+                session,
+                CAUSE_CHANNEL,
+                "AdaptationBreach",
+                f"controller gave up at last rung: {decision.reason} "
+                f"({stats.describe()})",
+            )
+            return False
+        return True
+
+    def _avert_quarantine(self, session: ReceiverSession) -> bool:
+        """Downshift instead of quarantining, if the ladder allows it.
+
+        The downshift-before-quarantine contract: a failure streak at the
+        quarantine threshold first spends a ladder rung (recorded as a
+        forced ``failure-streak`` downshift and an averted quarantine);
+        only a session with no controller or no rung left is quarantined.
+        """
+        controller = session.controller
+        if controller is None:
+            return False
+        decision = controller.force_downshift(
+            "failure-streak",
+            WindowStats(frame_failures=session.consecutive_failures),
+        )
+        if decision is None:
+            return False
+        session.adapt_decisions.append(decision)
+        session.consecutive_failures = 0
+        self.metrics.counter(M_ADAPT_QUARANTINES_AVERTED).inc()
+        with self.tracer.span(
+            SPAN_ADAPT_DECISION, session=session.session_id
+        ) as span:
+            span.set("action", decision.action)
+            span.set("rung", decision.rung)
+            span.set("reason", decision.reason)
+        return True
 
     @staticmethod
     def _last_failure_detail(session: ReceiverSession) -> tuple:
@@ -379,11 +476,11 @@ class SessionManager:
             try:
                 session.events.extend(session.streaming.finish())
             except ColorBarsError as exc:
-                self._quarantine(session, "error", type(exc).__name__, str(exc))
+                self._quarantine(session, CAUSE_ERROR, type(exc).__name__, str(exc))
                 span.set("state", session.state)
                 return
             except Exception as exc:
-                self._quarantine(session, "error", type(exc).__name__, str(exc))
+                self._quarantine(session, CAUSE_ERROR, type(exc).__name__, str(exc))
                 span.set("state", session.state)
                 return
             session.state = state

@@ -20,6 +20,11 @@ from collections import deque
 from typing import Deque, List, Optional, Tuple
 
 from repro.exceptions import SessionFailure
+from repro.link.adapt import (
+    AdaptationDecision,
+    LinkAdaptationController,
+    ReportWindowTracker,
+)
 from repro.rx.streaming import PacketEvent, StreamingReceiver
 
 #: Session lifecycle states (see module docstring for the transitions).
@@ -47,11 +52,23 @@ class ReceiverSession:
     """Supervision wrapper: queue, timestamps, streaks, terminal records."""
 
     def __init__(
-        self, session_id: str, streaming: StreamingReceiver, opened_at: float
+        self,
+        session_id: str,
+        streaming: StreamingReceiver,
+        opened_at: float,
+        controller: Optional[LinkAdaptationController] = None,
     ) -> None:
         self.session_id = session_id
         self.streaming = streaming
         self.state = STATE_ACTIVE
+        #: Per-session link-adaptation controller; ``None`` = fixed rate.
+        self.controller = controller
+        #: Window-boundary snapshotter feeding the controller (see
+        #: :class:`repro.link.adapt.ReportWindowTracker`); the manager
+        #: closes one window per packet boundary.
+        self.window_tracker = ReportWindowTracker() if controller else None
+        #: Controller decisions taken for this session, in order.
+        self.adapt_decisions: List[AdaptationDecision] = []
         #: Pending ``(frame, cost_bytes)`` pairs, oldest first.
         self.queue: Deque[Tuple[object, int]] = deque()
         self.queued_bytes = 0
@@ -72,6 +89,15 @@ class ReceiverSession:
     @property
     def queue_depth(self) -> int:
         return len(self.queue)
+
+    @property
+    def recommended_rung(self) -> Optional[int]:
+        """The controller's current ladder rung, or ``None`` if unmanaged.
+
+        The service cannot re-plan a remote transmitter itself; this is
+        the rung a feedback channel would carry back to it.
+        """
+        return self.controller.rung if self.controller is not None else None
 
     @property
     def is_active(self) -> bool:

@@ -109,13 +109,13 @@ class TestDarkShortCircuit:
     @staticmethod
     def _counting_match(table, monkeypatch):
         calls = []
-        original = table.match
+        original = table.distance_matrix
 
         def counted(chroma):
             calls.append(np.asarray(chroma).shape)
             return original(chroma)
 
-        monkeypatch.setattr(table, "match", counted)
+        monkeypatch.setattr(table, "distance_matrix", counted)
         return calls
 
     def test_all_dark_stream_never_touches_calibration(

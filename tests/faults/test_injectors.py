@@ -13,6 +13,7 @@ from repro.camera.frame import CapturedFrame
 from repro.exceptions import FaultInjectionError
 from repro.faults import (
     FAULT_REGISTRY,
+    DriftInjector,
     FaultSchedule,
     FrameDropInjector,
     OcclusionInjector,
@@ -260,3 +261,64 @@ class TestSchedule:
 
     def test_empty_summary(self):
         assert FaultSchedule().summary() == "no faults injected"
+
+
+class TestDrift:
+    def _gains(self, schedule):
+        return [event.magnitude for event in schedule.events_for("drift")]
+
+    def test_gain_fades_monotonically_to_the_ramp_floor(self):
+        frames = make_frames(count=20)
+        schedule = FaultSchedule()
+        DriftInjector(1.0).inject(frames, np.random.default_rng(5), schedule)
+        gains = self._gains(schedule)
+        assert len(gains) == len(frames)
+        # The linear fade dominates the 2% ripple: monotone down, landing
+        # at 1 - max_gain_fade by the final frame.
+        assert gains[0] == pytest.approx(1.0, abs=0.1)
+        assert gains[-1] == pytest.approx(1.0 - DriftInjector.max_gain_fade, abs=0.1)
+        assert all(b < a + 0.05 for a, b in zip(gains, gains[1:]))
+
+    def test_ambient_ramp_lights_up_dark_frames(self):
+        frames = [
+            CapturedFrame(
+                index=i,
+                pixels=np.zeros((ROWS, COLS, 3), dtype=np.uint8),
+                start_time=i * FRAME_PERIOD,
+                row_period=1e-4,
+                exposure=ExposureSettings(exposure_s=1e-3, iso=100.0),
+            )
+            for i in range(5)
+        ]
+        out = DriftInjector(1.0).inject(
+            frames, np.random.default_rng(5), FaultSchedule()
+        )
+        # Gain multiplies nothing on a black frame; only the additive warm
+        # ambient cast shows, ramping from zero to the full level.
+        assert np.all(out[0].pixels == 0)
+        final = out[-1].pixels.astype(np.float64).mean(axis=(0, 1))
+        expected = DriftInjector.max_ambient_level * np.asarray(
+            DriftInjector.ambient_rgb
+        )
+        assert np.allclose(final, expected, atol=1.0)
+        # Warm cast: red above green above blue.
+        assert final[0] > final[1] > final[2]
+
+    def test_higher_intensity_fades_deeper(self, frames):
+        shallow, deep = FaultSchedule(), FaultSchedule()
+        DriftInjector(0.3).inject(frames, np.random.default_rng(5), shallow)
+        DriftInjector(1.0).inject(frames, np.random.default_rng(5), deep)
+        assert self._gains(deep)[-1] < self._gains(shallow)[-1]
+
+    def test_every_frame_recorded_and_geometry_preserved(self, frames):
+        schedule = FaultSchedule()
+        out = DriftInjector(0.5).inject(
+            frames, np.random.default_rng(5), schedule
+        )
+        assert len(out) == len(frames)
+        assert sorted(schedule.frames_affected("drift")) == [
+            frame.index for frame in frames
+        ]
+        for before, after in zip(frames, out):
+            assert after.pixels.shape == before.pixels.shape
+            assert after.start_time == before.start_time

@@ -53,6 +53,20 @@ class TestRunBench:
         for stage in ("tx-plan", "record", "decode"):
             assert stage in report["stages_s"]
 
+    def test_adaptive_entry_is_pinned(self, report):
+        # Same trajectory, same seed, same device: goodput is a tracked
+        # number, so a rerun must reproduce it exactly.
+        entry = report["adaptive_vs_fixed"]
+        assert entry["goodput_bps"]["adaptive"] > 0
+        assert entry["goodput_bps"]["best_fixed"] > 0
+        assert entry["quarantined"] is False
+        from repro.perf.bench import adaptive_vs_fixed_entry
+
+        again = adaptive_vs_fixed_entry(quick=True)
+        assert {k: v for k, v in again.items() if k != "wall_s"} == {
+            k: v for k, v in entry.items() if k != "wall_s"
+        }
+
     def test_workers_one_skips_parallel_leg(self, report):
         assert report["wall_clock_s"]["parallel"] is None
         assert report["cells_per_sec"]["parallel"] is None
@@ -150,6 +164,15 @@ class TestValidateReport:
             "cells_per_sec": {"serial": 1.0, "parallel": 1.3},
             "speedup": 1.3,
             "speedup_meaningful": False,
+            "adaptive_vs_fixed": {
+                "goodput_bps": {"adaptive": 540.0, "best_fixed": 800.0},
+                "best_fixed_rung": 1,
+                "downshifts": 1,
+                "upshifts": 0,
+                "quarantined": False,
+                "segments": 4,
+                "wall_s": 0.8,
+            },
             "history": [],
         }
 
@@ -221,6 +244,24 @@ class TestValidateReport:
         report = self._valid()
         report["stages_s"] = {}
         with pytest.raises(BenchError, match="stages_s"):
+            validate_report(report)
+
+    def test_adaptive_entry_missing_goodput_rejected(self):
+        report = self._valid()
+        report["adaptive_vs_fixed"] = {"quarantined": False}
+        with pytest.raises(BenchError, match="goodput_bps"):
+            validate_report(report)
+
+    def test_adaptive_entry_negative_goodput_rejected(self):
+        report = self._valid()
+        report["adaptive_vs_fixed"]["goodput_bps"]["adaptive"] = -1.0
+        with pytest.raises(BenchError, match="non-negative"):
+            validate_report(report)
+
+    def test_adaptive_entry_non_bool_quarantined_rejected(self):
+        report = self._valid()
+        report["adaptive_vs_fixed"]["quarantined"] = "no"
+        with pytest.raises(BenchError, match="quarantined"):
             validate_report(report)
 
     def test_non_bool_speedup_meaningful_rejected(self):

@@ -1,0 +1,134 @@
+"""Channel-quality estimates on ReceiverReport and PacketEvent.
+
+The estimator contract the link-adaptation controller depends on: every
+estimate is ``None`` while undefined (no evidence), never a fabricated
+zero — most importantly the all-dark short-circuit, where a window with no
+lit band has *no* ΔE margin rather than a margin of 0.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.camera.auto_exposure import ExposureSettings
+from repro.camera.frame import CapturedFrame
+from repro.core.config import SystemConfig
+from repro.core.system import make_receiver
+from repro.link.simulator import LinkSimulator
+from repro.rx.receiver import ReceiverReport
+from repro.rx.streaming import PacketEvent
+
+
+def _band(margin):
+    return SimpleNamespace(decision=SimpleNamespace(margin=margin))
+
+
+class TestReportEstimates:
+    def test_fresh_report_has_no_estimates(self):
+        report = ReceiverReport()
+        assert report.ser_estimate is None
+        assert report.delta_e_margin is None
+        assert report.erasure_fraction is None
+
+    def test_ser_estimate_is_error_fraction(self):
+        report = ReceiverReport()
+        report.calibration_symbols_seen = 16
+        report.calibration_symbol_errors = 4
+        assert report.ser_estimate == pytest.approx(0.25)
+
+    def test_zero_errors_is_a_measured_zero_not_none(self):
+        report = ReceiverReport()
+        report.calibration_symbols_seen = 16
+        assert report.ser_estimate == 0.0
+
+    def test_erasure_fraction_over_codeword_symbols(self):
+        report = ReceiverReport()
+        report.codeword_symbols_seen = 40
+        report.erasure_symbols_seen = 10
+        assert report.erasure_fraction == pytest.approx(0.25)
+
+    def test_margin_averages_only_defined_decisions(self):
+        report = ReceiverReport()
+        report.bands = [_band(4.0), _band(None), _band(8.0)]
+        assert report.delta_e_margin == pytest.approx(6.0)
+
+    def test_all_dark_bands_leave_margin_undefined(self):
+        # The all-dark short-circuit: dark decisions carry margin=None, so
+        # a report full of them has no margin — not a margin of zero.
+        report = ReceiverReport()
+        report.bands = [_band(None), _band(None)]
+        assert report.delta_e_margin is None
+
+
+class TestAllDarkPipeline:
+    def test_black_recording_defines_no_margin(self, tiny_device):
+        # End to end: frames with no light produce no lit decisions, so
+        # the margin stays undefined through the whole receive path.
+        config = SystemConfig(
+            csk_order=4,
+            symbol_rate=1000.0,
+            design_loss_ratio=tiny_device.timing.gap_fraction,
+            frame_rate=tiny_device.timing.frame_rate,
+        )
+        timing = tiny_device.timing
+        frames = [
+            CapturedFrame(
+                index=i,
+                pixels=np.zeros((timing.rows, 16, 3), dtype=np.uint8),
+                start_time=i / timing.frame_rate,
+                row_period=timing.row_period,
+                exposure=ExposureSettings(exposure_s=1e-3, iso=100.0),
+            )
+            for i in range(3)
+        ]
+        report = make_receiver(config, timing).process_frames(frames)
+        assert report.delta_e_margin is None
+        assert report.ser_estimate is None
+        assert report.erasure_fraction is None
+
+
+class TestSimulatedEstimates:
+    def test_clean_link_yields_defined_healthy_estimates(self, tiny_device):
+        config = SystemConfig(
+            csk_order=4,
+            symbol_rate=1000.0,
+            design_loss_ratio=tiny_device.timing.gap_fraction,
+            frame_rate=tiny_device.timing.frame_rate,
+        )
+        simulator = LinkSimulator(
+            config, tiny_device, simulated_columns=32, seed=3
+        )
+        _, frames, _ = simulator.record_session(duration_s=0.6)
+        report = make_receiver(config, tiny_device.timing).process_frames(frames)
+        assert report.packets_decoded > 0
+        # All three estimates are defined and consistent with the counters.
+        assert report.ser_estimate == pytest.approx(
+            report.calibration_symbol_errors / report.calibration_symbols_seen
+        )
+        assert report.ser_estimate <= 0.1
+        assert report.delta_e_margin is not None and report.delta_e_margin > 0
+        assert report.erasure_fraction is not None
+        assert 0.0 <= report.erasure_fraction <= 1.0
+
+
+class TestPacketEventErasureFraction:
+    def _event(self, erasures, codeword_symbols):
+        return PacketEvent(
+            first_frame=0,
+            decoded=False,
+            payload=None,
+            failure=None,
+            erasures=erasures,
+            complete=False,
+            codeword_symbols=codeword_symbols,
+        )
+
+    def test_fraction_of_advertised_codeword(self):
+        assert self._event(5, 20).erasure_fraction == pytest.approx(0.25)
+
+    def test_unknown_codeword_length_is_none(self):
+        assert self._event(5, 0).erasure_fraction is None
+
+    def test_clamped_to_one(self):
+        assert self._event(30, 20).erasure_fraction == 1.0
