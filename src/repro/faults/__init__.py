@@ -27,6 +27,7 @@ from repro.faults.chaos import (
     ProcessChaos,
     SlowCellChaos,
     WorkerCrashChaos,
+    WorkerPartitionChaos,
     make_chaos,
     parse_chaos_spec,
     parse_chaos_specs,
@@ -54,6 +55,7 @@ __all__ = [
     "ProcessChaos",
     "SlowCellChaos",
     "WorkerCrashChaos",
+    "WorkerPartitionChaos",
     "make_chaos",
     "parse_chaos_spec",
     "parse_chaos_specs",

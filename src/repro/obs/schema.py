@@ -31,6 +31,7 @@ KIND_HISTOGRAM = "histogram"
 # -- span names ------------------------------------------------------------
 
 SPAN_SWEEP = "sweep"
+SPAN_SHARD = "shard"
 SPAN_CELL = "cell"
 SPAN_TX_PLAN = "tx-plan"
 SPAN_WAVEFORM = "waveform"
@@ -86,6 +87,11 @@ M_ADAPT_DOWNSHIFTS = "colorbars.adapt.downshifts"
 M_ADAPT_RUNG = "colorbars.adapt.rung"
 M_ADAPT_MARGIN = "colorbars.adapt.margin_delta_e"
 M_ADAPT_QUARANTINES_AVERTED = "colorbars.adapt.quarantines_averted"
+M_BACKEND_SHARDS = "colorbars.backend.shards"
+M_BACKEND_CELLS = "colorbars.backend.cells"
+M_BACKEND_LANES = "colorbars.backend.lanes"
+M_BACKEND_WORKER_RESTARTS = "colorbars.backend.worker_restarts"
+M_BACKEND_MERGED_CELLS = "colorbars.backend.merged_cells"
 
 
 @dataclass(frozen=True)
@@ -115,6 +121,13 @@ SPANS: Tuple[SpanEntry, ...] = (
         SPAN_SWEEP, "(root)", "repro.obs.trace",
         "One assembled sweep trace; every per-cell trace is re-parented "
         "under it in spec order (a `colorbars run` is a one-cell sweep).",
+    ),
+    SpanEntry(
+        SPAN_SHARD, SPAN_SWEEP, "repro.obs.trace",
+        "One backend shard of a sweep: the cells assigned to one parallel "
+        "lane, adopted in spec order (in backend-driven sweeps `cell` "
+        "spans nest here instead of directly under the sweep root); "
+        "backend name, shard index, and cell count as attributes.",
     ),
     SpanEntry(
         SPAN_CELL, SPAN_SWEEP, "repro.link.simulator",
@@ -354,6 +367,33 @@ METRICS: Tuple[MetricEntry, ...] = (
         "repro.serve.manager",
         "Failure streaks absorbed by a controller downshift instead of "
         "quarantine (quarantine is the ladder's last rung).",
+    ),
+    MetricEntry(
+        M_BACKEND_SHARDS, KIND_COUNTER, "shards", "repro.perf.backends.driver",
+        "Shards submitted to the sweep backend (one per parallel lane "
+        "with work).",
+    ),
+    MetricEntry(
+        M_BACKEND_CELLS, KIND_COUNTER, "cells", "repro.perf.backends.driver",
+        "Cells executed through the sweep backend (excludes cells spliced "
+        "from a resume journal).",
+    ),
+    MetricEntry(
+        M_BACKEND_LANES, KIND_GAUGE, "lanes", "repro.perf.backends.driver",
+        "Parallel lanes of the backend that ran the sweep (1 for "
+        "inprocess; the worker count for pool/remote).",
+    ),
+    MetricEntry(
+        M_BACKEND_WORKER_RESTARTS, KIND_COUNTER, "workers",
+        "repro.perf.backends.driver",
+        "Remote workers the backend killed and respawned after a crash, "
+        "partition, or watchdog timeout.",
+    ),
+    MetricEntry(
+        M_BACKEND_MERGED_CELLS, KIND_COUNTER, "cells",
+        "repro.perf.backends.driver",
+        "Cells spliced from shard journals into the sweep journal by the "
+        "post-drain merge.",
     ),
 )
 

@@ -1,0 +1,134 @@
+"""The process-pool backend: PR 3/4's supervised executor behind the interface.
+
+This is the same supervised ``ProcessPoolExecutor`` loop the resilient
+runtime has always used — watchdog deadlines, ``BrokenProcessPool``
+containment, innocent-pool-mate resubmission, seed-stable retry — reused
+verbatim (:func:`repro.perf.runtime._run_isolated` is the engine), with
+two backend-contract adaptations:
+
+* cells from *all* submitted shards feed one pool, so lanes stay busy
+  even when shards are unevenly sized;
+* journal appends are routed per cell back to the owning shard's journal
+  (the runtime engine sees one duck-typed journal; the router fans out).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import CellFailure, ConfigurationError
+from repro.link.simulator import LinkResult
+from repro.perf.backends.base import (
+    CellOutcome,
+    Shard,
+    SweepBackend,
+    register_backend,
+)
+from repro.perf.executor import resolve_workers, validate_workers
+from repro.perf.runtime import RunJournal, RuntimePolicy, _Cell, _run_isolated
+
+
+class _ShardJournalRouter:
+    """Duck-typed journal fanning each append out to its cell's shard journal.
+
+    The runtime engine journals by calling ``journal.append(fingerprint,
+    result)``; shards each own a separate journal file, so this maps the
+    fingerprint back to the right one.  Cells of unjournaled shards are
+    simply not checkpointed.
+    """
+
+    def __init__(self, routes: Dict[str, RunJournal]) -> None:
+        self._routes = routes
+
+    def append(self, fingerprint: str, result: LinkResult) -> None:
+        journal = self._routes.get(fingerprint)
+        if journal is not None:
+            journal.append(fingerprint, result)
+
+
+@register_backend
+class PoolBackend(SweepBackend):
+    """Supervised process-pool backend (``--backend pool[:workers=N]``)."""
+
+    name = "pool"
+
+    def __init__(
+        self,
+        policy: Optional[RuntimePolicy] = None,
+        workers: Optional[int] = None,
+        observe: bool = False,
+    ) -> None:
+        super().__init__(
+            policy=policy, lanes=resolve_workers(workers), observe=observe
+        )
+
+    @classmethod
+    def from_options(
+        cls,
+        options: Dict[str, str],
+        policy: Optional[RuntimePolicy] = None,
+        workers: Optional[int] = None,
+        observe: bool = False,
+    ) -> "PoolBackend":
+        options = dict(options)
+        raw = options.pop("workers", None)
+        if options:
+            raise ConfigurationError(
+                f"backend {cls.name!r} only takes workers=N, "
+                f"got {sorted(options)}"
+            )
+        if raw is not None:
+            workers = validate_workers(raw, source="backend workers option")
+        return cls(policy=policy, workers=workers, observe=observe)
+
+    def _drain(self, shards: List[Shard]) -> List[CellOutcome]:
+        cells: List[_Cell] = []
+        routes: Dict[str, RunJournal] = {}
+        for shard in shards:
+            journal = shard.journal()
+            for cell in shard.cells:
+                cells.append(
+                    _Cell(
+                        index=cell.index,
+                        spec=cell.spec,
+                        fingerprint=cell.fingerprint,
+                    )
+                )
+                if journal is not None:
+                    routes[cell.fingerprint] = journal
+
+        # The engine writes results keyed by cell index; a dict satisfies
+        # the same subscript contract as the runtime's dense list.
+        results: Dict[int, LinkResult] = {}
+        failures: List[CellFailure] = []
+        stats = {"retried": 0}
+        _run_isolated(
+            cells,
+            self.lanes,
+            self.policy,
+            _ShardJournalRouter(routes) if routes else None,
+            results,
+            failures,
+            observe=self.observe,
+            stats=stats,
+        )
+        self.cells_retried += stats["retried"]
+
+        failure_by_index = {failure.index: failure for failure in failures}
+        outcomes: List[CellOutcome] = []
+        for shard in shards:
+            for cell in shard.cells:
+                result = results.get(cell.index)
+                failure = failure_by_index.get(cell.index)
+                if result is None and failure is None:
+                    continue  # a hole; the driver raises on it
+                outcomes.append(
+                    CellOutcome(
+                        shard_id=shard.shard_id,
+                        index=cell.index,
+                        fingerprint=cell.fingerprint,
+                        result=result,
+                        failure=None if result is not None else failure,
+                    )
+                )
+        return outcomes

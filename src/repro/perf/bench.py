@@ -56,7 +56,12 @@ from repro.util.stopwatch import StageTimings
 #: adaptation controller against its best fixed rung over a pinned
 #: time-varying channel (:mod:`repro.link.adapt`), so rate-control
 #: regressions show up in the tracked trajectory alongside raw throughput.
-BENCH_SCHEMA_VERSION = 5
+#: v6 added ``backend`` — which sweep backend ran each leg (``serial`` is
+#: always ``inprocess`` semantics; ``parallel`` names the
+#: :mod:`repro.perf.backends` backend of the parallel leg, or ``null``
+#: when that leg is skipped), so speedup entries in the folded history
+#: are attributable to the engine that produced them.
+BENCH_SCHEMA_VERSION = 6
 
 #: Default output path (repo root by convention).
 BENCH_FILENAME = "BENCH_colorbars.json"
@@ -74,6 +79,7 @@ REQUIRED_KEYS = (
     "quick",
     "cells",
     "capture_path",
+    "backend",
     "failures",
     "stages_s",
     "wall_clock_s",
@@ -215,6 +221,7 @@ def run_bench(
     clock=None,
     cells: Optional[int] = None,
     profile_path=None,
+    backend: str = "pool",
 ) -> Dict:
     """Execute the micro-sweep serially and at ``workers``, return the report.
 
@@ -241,11 +248,28 @@ def run_bench(
     measurement metadata and does not enter the report's timings comparison
     beyond its own (null-path) overhead.
 
+    ``backend`` (a :mod:`repro.perf.backends` spec, default ``pool``)
+    names the engine of the parallel leg and is recorded in the report —
+    so a ``remote`` speedup and a ``pool`` speedup in the folded history
+    are never conflated.  The serial leg always runs in-process.
+
     ``clock`` stamps ``generated_unix`` (provenance metadata only) and
     defaults to :data:`repro.util.clock.wall_clock`; tests inject a
     constant for reproducible reports.
     """
+    from repro.exceptions import ConfigurationError
+    from repro.perf.backends import BACKEND_REGISTRY, parse_backend_spec
+
     clock = clock if clock is not None else wall_clock
+    try:
+        backend_name, _ = parse_backend_spec(backend)
+    except ConfigurationError as exc:
+        raise BenchError(f"bad backend spec: {exc}") from exc
+    if backend_name not in BACKEND_REGISTRY:
+        raise BenchError(
+            f"unknown backend {backend_name!r}; known backends: "
+            + ", ".join(sorted(BACKEND_REGISTRY))
+        )
     specs = micro_sweep_specs(quick=quick)
     if cells is not None:
         if cells <= 0:
@@ -276,7 +300,8 @@ def run_bench(
     if run_parallel:
         parallel_start = time.perf_counter()
         parallel = run_specs_resilient(
-            specs, workers=workers, policy=policy, metrics=metrics
+            specs, workers=workers, policy=policy, metrics=metrics,
+            backend=backend,
         )
         parallel_wall = time.perf_counter() - parallel_start
         parallel_failures = len(parallel.failures)
@@ -298,6 +323,10 @@ def run_bench(
         "quick": quick,
         "cells": cell_count,
         "capture_path": DEFAULT_CAPTURE_PATH,
+        "backend": {
+            "serial": "inprocess",
+            "parallel": backend if run_parallel else None,
+        },
         "failures": len(serial.failures) + parallel_failures,
         "history": [],
         "stages_s": {
@@ -356,9 +385,11 @@ def format_breakdown(report: Dict) -> List[str]:
             "pool overhead, not parallelism)"
         )
     else:
+        engine = (report.get("backend") or {}).get("parallel") or "pool"
         lines.append(
             f"parallel: {wall['parallel']:.3f} s ({cps['parallel']:.2f} cells/s) "
-            f"at {report['workers']} workers -> speedup {report['speedup']:.2f}x"
+            f"at {report['workers']} workers on {engine} "
+            f"-> speedup {report['speedup']:.2f}x"
         )
     if report.get("failures"):
         lines.append(
@@ -435,6 +466,24 @@ def validate_report(report: Dict) -> None:
                 raise BenchError(f"{section}.{mode} must be positive, got {value!r}")
     if not isinstance(report["stages_s"], dict) or not report["stages_s"]:
         raise BenchError("stages_s must be a non-empty object")
+    backend = report["backend"]
+    if not isinstance(backend, dict) or set(backend) != {"serial", "parallel"}:
+        raise BenchError("backend must map exactly serial/parallel")
+    if backend["serial"] != "inprocess":
+        raise BenchError(
+            f"backend.serial must be 'inprocess', got {backend['serial']!r}"
+        )
+    if parallel_skipped:
+        if backend["parallel"] is not None:
+            raise BenchError(
+                "backend.parallel must be null when the parallel leg is "
+                f"skipped, got {backend['parallel']!r}"
+            )
+    elif not isinstance(backend["parallel"], str) or not backend["parallel"]:
+        raise BenchError(
+            "backend.parallel must name the parallel leg's backend, "
+            f"got {backend['parallel']!r}"
+        )
     if report.get("capture_path") not in ("batched", "reference"):
         raise BenchError(
             f"capture_path must be 'batched' or 'reference', "

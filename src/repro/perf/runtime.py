@@ -261,6 +261,9 @@ class RuntimeResult:
     results: List[Optional[LinkResult]]
     failures: List[CellFailure] = field(default_factory=list)
     resumed: int = 0
+    #: Backend-driven sweeps only: per spec, the shard that ran it (``None``
+    #: for resumed cells); ``None`` altogether on the classic runtime path.
+    shard_of: Optional[List[Optional[int]]] = None
 
     @property
     def degraded(self) -> bool:
@@ -327,6 +330,32 @@ def _execute_cell(
     return _annotate_trace(result, index, attempt)
 
 
+def record_sweep_metrics(
+    metrics,
+    results: Sequence[Optional[LinkResult]],
+    failures: Sequence[CellFailure],
+    retried: int,
+    resumed: int,
+    workers: int,
+) -> None:
+    """Fold one sweep's runtime counters and per-cell exports into ``metrics``.
+
+    Shared by the classic runtime path and the backend driver
+    (:mod:`repro.perf.backends.driver`), so both report the same
+    ``colorbars.sweep.*`` vocabulary for the same sweep.
+    """
+    metrics.gauge(M_SWEEP_WORKERS).set(workers)
+    completed = sum(1 for result in results if result is not None)
+    metrics.counter(M_CELLS_COMPLETED).inc(completed)
+    metrics.counter(M_CELLS_FAILED).inc(len(failures))
+    metrics.counter(M_CELLS_RETRIED).inc(retried)
+    metrics.counter(M_CELLS_RESUMED).inc(resumed)
+    for result in results:
+        exported = getattr(result, "obs_metrics", None)
+        if exported:
+            metrics.merge_export(exported)
+
+
 def run_specs_resilient(
     specs: Sequence[RunSpec],
     workers: Optional[int] = None,
@@ -335,6 +364,7 @@ def run_specs_resilient(
     resume: bool = False,
     observe: bool = False,
     metrics=None,
+    backend=None,
 ) -> RuntimeResult:
     """Execute ``specs`` with watchdogs, containment, retry, and journaling.
 
@@ -353,12 +383,35 @@ def run_specs_resilient(
     as ``metrics`` implies ``observe``: every cell's export is merged into
     it, plus the runtime's own counters (cells completed/failed/retried/
     resumed, worker gauge).
+
+    ``backend`` swaps the execution engine for a distributed sweep
+    backend (:mod:`repro.perf.backends`): a backend name spec
+    (``"pool:workers=4"``, constructed and closed here) or a live
+    :class:`~repro.perf.backends.base.SweepBackend` (caller keeps
+    ownership).  ``backend=None`` is the classic supervised path,
+    byte-identical to every release since PR 4.
     """
     specs = list(specs)
     if metrics is not None:
         observe = True
     if policy is None:
         policy = RuntimePolicy(cell_timeout_s=default_cell_timeout())
+    if backend is not None:
+        # Imported lazily: repro.perf.backends imports this module.
+        from repro.perf.backends import make_backend, run_specs_sharded
+
+        if isinstance(backend, str):
+            with make_backend(
+                backend, policy=policy, workers=workers, observe=observe
+            ) as owned:
+                return run_specs_sharded(
+                    specs, owned, journal=journal, resume=resume,
+                    observe=observe, metrics=metrics,
+                )
+        return run_specs_sharded(
+            specs, backend, journal=journal, resume=resume,
+            observe=observe, metrics=metrics,
+        )
     workers = resolve_workers(workers, cell_count=len(specs))
     if journal is not None and not isinstance(journal, RunJournal):
         journal = RunJournal(journal)
@@ -397,16 +450,10 @@ def run_specs_resilient(
             )
 
     if metrics is not None:
-        metrics.gauge(M_SWEEP_WORKERS).set(workers)
-        completed = sum(1 for result in results if result is not None)
-        metrics.counter(M_CELLS_COMPLETED).inc(completed)
-        metrics.counter(M_CELLS_FAILED).inc(len(failures))
-        metrics.counter(M_CELLS_RETRIED).inc(stats["retried"])
-        metrics.counter(M_CELLS_RESUMED).inc(resumed)
-        for result in results:
-            exported = getattr(result, "obs_metrics", None)
-            if exported:
-                metrics.merge_export(exported)
+        record_sweep_metrics(
+            metrics, results, failures,
+            retried=stats["retried"], resumed=resumed, workers=workers,
+        )
     return RuntimeResult(results=results, failures=failures, resumed=resumed)
 
 

@@ -1,0 +1,52 @@
+"""docs/ARCHITECTURE.md must name every layer the code declares.
+
+The doc's layer map is prose, but its coverage is a checked contract:
+a new layer added to ``repro.tooling.layers.LAYER_DEPS`` without a row
+in the architecture doc fails here (and in CI's ``docs-consistency``
+job), so the map cannot drift from the import graph it describes.
+"""
+
+import re
+from pathlib import Path
+
+from repro.tooling.layers import APP_LAYER, LAYER_DEPS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+
+
+def _doc_layer_cells(text):
+    """Backticked first-column entries of the doc's markdown tables."""
+    cells = set()
+    for line in text.splitlines():
+        match = re.match(r"\|\s*`([^`]+)`\s*\|", line)
+        if match:
+            cells.add(match.group(1))
+    return cells
+
+
+class TestArchitectureDoc:
+    def test_doc_exists(self):
+        assert DOC.exists(), "docs/ARCHITECTURE.md is missing"
+
+    def test_every_declared_layer_is_documented(self):
+        cells = _doc_layer_cells(DOC.read_text())
+        missing = sorted(set(LAYER_DEPS) - cells)
+        assert not missing, (
+            f"layers declared in repro.tooling.layers.LAYER_DEPS but "
+            f"absent from docs/ARCHITECTURE.md's layer map: {missing}"
+        )
+
+    def test_app_pseudo_layer_is_documented(self):
+        assert APP_LAYER in _doc_layer_cells(DOC.read_text())
+
+    def test_doc_names_no_unknown_layers(self):
+        # The reverse direction: a layer row for something the code no
+        # longer declares is stale documentation.
+        known = set(LAYER_DEPS) | {APP_LAYER}
+        rows = _doc_layer_cells(DOC.read_text())
+        layer_rows = {cell for cell in rows if re.fullmatch(r"[a-z_]+", cell)}
+        # Non-layer tables (e.g. the DESIGN index) use different cell
+        # shapes, so only single-word lowercase cells are layer claims.
+        unknown = sorted(layer_rows - known)
+        assert not unknown, f"doc claims layers the code does not declare: {unknown}"

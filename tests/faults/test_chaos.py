@@ -16,7 +16,12 @@ from repro.faults.chaos import (
 
 class TestRegistry:
     def test_registry_names(self):
-        assert set(CHAOS_REGISTRY) == {"worker-crash", "cell-hang", "slow-cell"}
+        assert set(CHAOS_REGISTRY) == {
+            "worker-crash",
+            "cell-hang",
+            "slow-cell",
+            "worker-partition",
+        }
 
     def test_make_chaos_by_name(self):
         chaos = make_chaos("cell-hang", 0.5, seed=3)

@@ -158,6 +158,7 @@ class TestValidateReport:
             "quick": True,
             "cells": 2,
             "capture_path": "batched",
+            "backend": {"serial": "inprocess", "parallel": "pool"},
             "failures": 0,
             "stages_s": {"record": 1.0},
             "wall_clock_s": {"serial": 2.0, "parallel": 1.5},
@@ -184,6 +185,7 @@ class TestValidateReport:
         report["wall_clock_s"]["parallel"] = None
         report["cells_per_sec"]["parallel"] = None
         report["speedup"] = None
+        report["backend"]["parallel"] = None
         validate_report(report)
 
     def test_inconsistent_parallel_nulls_rejected(self):
